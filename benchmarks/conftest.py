@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Each bench regenerates one of the paper's figures (or an ablation) at a
+reduced-but-shape-preserving scale, asserts the qualitative claims, and
+prints the rows so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction report.  Full-scale numbers come from
+``python -m repro.experiments.<name>`` and are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentProfile
+
+#: Bench-scale profile; big enough that every qualitative shape holds.
+BENCH = ExperimentProfile(name="bench", population=80, repeats=3, max_rounds=6000)
+
+#: Smaller profile for the wide grids (Fig. 3's 16 cells).
+BENCH_GRID = ExperimentProfile(
+    name="bench-grid", population=60, repeats=3, max_rounds=4000
+)
+
+
+@pytest.fixture
+def bench_profile() -> ExperimentProfile:
+    return BENCH
+
+
+@pytest.fixture
+def grid_profile() -> ExperimentProfile:
+    return BENCH_GRID
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are internally repeated (median-of-N protocol), so a
+    single timed round is both sufficient and necessary to keep the
+    harness fast.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Ablation — churn intensity sweep around the §5.3 operating point.
+
+Shape asserted: steady-state satisfaction degrades monotonically (up to
+noise) as the leave probability grows, stays high at the paper's
+operating point (leave 0.01 / rejoin 0.2), and the worst transient dip
+deepens with churn.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import ablations
+from repro.experiments.config import ExperimentProfile
+
+from benchmarks.conftest import run_once
+
+PROFILE = ExperimentProfile(name="churn-bench", population=60, repeats=3, max_rounds=900)
+LEAVES = (0.0025, 0.01, 0.04)
+
+
+def test_churn_intensity_sweep(benchmark):
+    rows = run_once(
+        benchmark,
+        ablations.churn_sweep,
+        profile=PROFILE,
+        leave_probabilities=LEAVES,
+        rounds=900,
+        warmup=250,
+    )
+    print()
+    print(ascii_table(ablations.CHURN_HEADERS, rows))
+
+    satisfied = [row[2] for row in rows]
+    # Monotone degradation across the sweep endpoints.
+    assert satisfied[0] > satisfied[-1]
+    # Gentle churn barely hurts; the paper's point stays healthy.
+    assert satisfied[0] > 0.85
+    assert rows[1][2] > 0.7  # leave=0.01 (the §5.3 setting)
+    # Violent churn visibly degrades.
+    assert satisfied[-1] < satisfied[0] - 0.1

@@ -1,0 +1,32 @@
+"""Ablation — the Fig. 3 oracle grid under the Hybrid algorithm.
+
+§5.2: "Similar behavior of better performance using Oracle Random-Delay
+was observed for experiments conducted with the Hybrid LagOver
+construction algorithm."  Shapes asserted mirror the Greedy bench: O3 and
+O1 always converge with O3 faster in aggregate.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import figure3
+from repro.workloads import PAPER_FAMILIES
+
+from benchmarks.conftest import BENCH_GRID, run_once
+
+
+def test_hybrid_oracle_grid(benchmark):
+    grid = run_once(
+        benchmark, figure3.run, profile=BENCH_GRID, algorithm="hybrid"
+    )
+    print()
+    print(ascii_table(figure3.headers(), figure3.rows(grid)))
+
+    o3_total = 0.0
+    o1_total = 0.0
+    for family in PAPER_FAMILIES:
+        o3 = grid[(family, "random-delay")]
+        o1 = grid[(family, "random")]
+        assert o3.failures == 0, f"O3 must always converge ({family})"
+        assert o1.failures == 0, f"O1 must always converge ({family})"
+        o3_total += o3.median
+        o1_total += o1.median
+    assert o3_total < o1_total

@@ -1,0 +1,36 @@
+"""Ablation — lazy maintenance (paper) vs knee-jerk detaching (§3.2).
+
+§3.2: immediately discarding parents "will not only waste a lot of the
+past interactions and the structure built therefrom, but also ... cause a
+larger than necessary dynamicity".  Shapes asserted: the knee-jerk
+variants pay for it — more structural churn (detaches), and no speedup.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import ablations
+
+from benchmarks.conftest import BENCH, run_once
+
+
+def test_lazy_beats_kneejerk_maintenance(benchmark):
+    rows = run_once(benchmark, ablations.maintenance_comparison, profile=BENCH)
+    print()
+    print(ascii_table(ablations.MAINTENANCE_HEADERS, rows))
+
+    by_variant = {row[0]: row for row in rows}
+    for variant in ("greedy", "hybrid"):
+        lazy = by_variant[variant]
+        eager = by_variant[f"{variant}-eager"]
+        assert lazy[1] is not None, f"{variant} (lazy) got stuck"
+        # Knee-jerk never helps: it costs structural churn, rounds, or both.
+        eager_stuck = eager[1] is None
+        more_churn = eager[3] > lazy[3]
+        slower = (not eager_stuck) and eager[1] >= lazy[1] * 0.9
+        assert eager_stuck or more_churn or slower, (
+            f"{variant}: knee-jerk unexpectedly dominated lazy maintenance"
+        )
+    # And at least one algorithm shows a clear churn penalty.
+    assert (
+        by_variant["hybrid-eager"][3] > by_variant["hybrid"][3]
+        or by_variant["greedy-eager"][3] > by_variant["greedy"][3]
+    )

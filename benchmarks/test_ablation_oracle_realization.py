@@ -1,0 +1,44 @@
+"""Ablation — what the oracle's implementation realism costs.
+
+The paper simulates omniscient oracles and *sketches* deployments: a
+DHT-hosted directory (OpenDHT/Syndic8) for the filtered oracles, random
+walkers over an unstructured overlay for Oracle Random.  We run all
+three against the same workloads.  Shapes asserted:
+
+* the DHT directory (with its periodic-refresh staleness) tracks the
+  omniscient O3 closely;
+* random walkers realize O1 at a real but bounded slowdown;
+* everything still converges — staleness and sampling noise degrade,
+  never break, the construction.
+
+A bonus observation worth the bench output: the *stale* capacity view of
+the DHT directory blunts O2b's starvation problem — a stale record can
+re-enable exactly the reconfiguring interactions the fresh filter
+forbids.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import ablations
+
+from benchmarks.conftest import BENCH, run_once
+
+
+def test_oracle_realizations(benchmark):
+    rows = run_once(
+        benchmark, ablations.oracle_realization_comparison, profile=BENCH
+    )
+    print()
+    print(ascii_table(ablations.REALIZATION_HEADERS, rows))
+
+    by_case = {(row[0], row[1]): row for row in rows}
+    omniscient_o3 = by_case[("omniscient", "random-delay")]
+    dht_o3 = by_case[("dht", "random-delay")]
+    omniscient_o1 = by_case[("omniscient", "random")]
+    walk_o1 = by_case[("random-walk", "random")]
+
+    for row in rows:
+        assert row[3] == 0, f"{row[:2]}: runs got stuck"
+    # DHT directory ~ omniscient (small constant factor).
+    assert dht_o3[2] <= 4 * omniscient_o3[2]
+    # Walkers are noisier than a true uniform sample but bounded.
+    assert walk_o1[2] <= 8 * omniscient_o1[2]

@@ -1,0 +1,58 @@
+"""Ablation — Alg. 2's pull-only vs push-source decision rule.
+
+Alg. 2 switches its source-child case on the server type: for a
+*pull-only* server latency decides who holds a direct-puller slot
+(steps 24-28); for a *push* server fanout does (steps 29-34).  The paper
+evaluates only the pull-only case ("we focus here only on pull based
+servers").
+
+This ablation runs the Hybrid algorithm with each decision rule against
+the same pull-constrained delay model (direct children observe delay 1
+either way).  Expected and measured: both converge everywhere, and the
+latency rule is the faster fit — with a pull-constrained source the
+scarce resource at depth 1 is *strict-latency placement*, and the fanout
+rule keeps handing those slots to high-capacity peers that the timeout
+path must then displace again.
+"""
+
+import statistics
+
+from repro.analysis.reporting import ascii_table
+from repro.core.protocol import ProtocolConfig
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.workloads import make as make_workload
+
+from benchmarks.conftest import BENCH, run_once
+
+
+def run_rule_comparison(profile):
+    rows = []
+    medians = {}
+    for label, pull_only in (("pull-only (latency rule)", True), ("push (fanout rule)", False)):
+        values = []
+        for seed in profile.seeds():
+            workload = make_workload("BiCorr", size=profile.population, seed=seed)
+            result = run_simulation(
+                workload,
+                SimulationConfig(
+                    algorithm="hybrid",
+                    seed=seed,
+                    max_rounds=profile.max_rounds,
+                    protocol=ProtocolConfig(pull_only_source=pull_only),
+                ),
+            )
+            values.append(result.construction_rounds)
+        failures = values.count(None)
+        converged = [v for v in values if v is not None]
+        medians[label] = statistics.median(converged) if converged else None
+        rows.append([label, medians[label], failures])
+    return rows, medians
+
+
+def test_pull_vs_push_source_rule(benchmark):
+    rows, medians = run_once(benchmark, run_rule_comparison, BENCH)
+    print()
+    print(ascii_table(["source rule", "median rounds", "failures"], rows))
+    for row in rows:
+        assert row[2] == 0, f"{row[0]} got stuck"
+    assert medians["pull-only (latency rule)"] <= medians["push (fanout rule)"]

@@ -1,0 +1,32 @@
+"""Ablation — sensitivity to the construction Timeout (Alg. 2, steps 2-7).
+
+The paper prescribes a timeout before a parentless node contacts the
+source directly but never states its value.  Shape asserted: convergence
+is robust across an order of magnitude of timeout values for both
+algorithms (the mechanism matters, the constant does not).
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import ablations
+
+from benchmarks.conftest import BENCH, run_once
+
+TIMEOUTS = (1, 2, 4, 8, 16)
+
+
+def test_timeout_robustness(benchmark):
+    rows = run_once(
+        benchmark, ablations.timeout_sweep, profile=BENCH, timeouts=TIMEOUTS
+    )
+    print()
+    print(ascii_table(ablations.TIMEOUT_HEADERS, rows))
+
+    for row in rows:
+        timeout, greedy_median, hybrid_median, failures = row
+        assert failures == 0, f"timeout={timeout}: runs got stuck"
+        assert greedy_median is not None and hybrid_median is not None
+    # No cliff: the slowest setting is within a small factor of the fastest.
+    greedy_medians = [row[1] for row in rows]
+    hybrid_medians = [row[2] for row in rows]
+    assert max(greedy_medians) <= 12 * min(greedy_medians)
+    assert max(hybrid_medians) <= 12 * min(hybrid_medians)

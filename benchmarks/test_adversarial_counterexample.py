@@ -1,0 +1,32 @@
+"""§3.3.1 — the adversarial counter-example.
+
+Shapes asserted:
+
+* the sufficiency condition fails, yet an exact feasible configuration
+  exists (sufficient-but-not-necessary);
+* Greedy converges on 0 of N seeds (it provably cannot place the strict
+  nodes under the high-fanout lax node);
+* Hybrid converges on a substantial fraction of seeds, quickly.
+"""
+
+from repro.experiments import adversarial
+
+from benchmarks.conftest import run_once
+
+SEEDS = 16
+
+
+def test_adversarial_counterexample(benchmark):
+    outcome = run_once(benchmark, adversarial.run, seeds=SEEDS, max_rounds=1500)
+    print()
+    print(
+        f"\nfeasible={outcome.feasible} sufficiency={outcome.sufficiency} "
+        f"greedy={outcome.greedy_converged}/{SEEDS} "
+        f"hybrid={outcome.hybrid_converged}/{SEEDS} "
+        f"hybrid rounds={outcome.hybrid_rounds}"
+    )
+    assert outcome.feasible
+    assert not outcome.sufficiency
+    assert outcome.greedy_converged == 0
+    assert outcome.hybrid_converged >= SEEDS // 4
+    assert all(rounds < 200 for rounds in outcome.hybrid_rounds)

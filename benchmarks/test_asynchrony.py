@@ -1,0 +1,24 @@
+"""§5.3 closing experiment — asynchronous interactions.
+
+Shapes asserted: asynchrony (interaction durations 1..4 rounds) slows
+construction for both algorithms but never prevents convergence.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import asynchrony
+
+from benchmarks.conftest import BENCH, run_once
+
+
+def test_asynchrony_slows_but_converges(benchmark):
+    grid = run_once(benchmark, asynchrony.run, profile=BENCH)
+    print()
+    print(ascii_table(asynchrony.HEADERS, asynchrony.rows(grid)))
+
+    for algorithm in asynchrony.ALGORITHMS:
+        sync = grid[(algorithm, "sync")]
+        asyn = grid[(algorithm, "async 1-4")]
+        assert sync.failures == 0 and asyn.failures == 0, algorithm
+        assert asyn.median > sync.median, (
+            f"{algorithm}: asynchrony should slow construction"
+        )

@@ -1,0 +1,57 @@
+"""§7 extension — multipath delivery (the P2P-video sketch).
+
+Shape asserted: with k LagOvers carrying k stream descriptions, the
+probability that a surviving consumer still receives (>= 1 intact chain)
+rises with k at every failure level, and the mean number of surviving
+descriptions scales with k.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.multipath import delivery_under_failures
+from repro.workloads import make as make_workload
+
+from benchmarks.conftest import run_once
+
+FRACTIONS = [0.05, 0.15, 0.25]
+
+
+def test_multipath_resilience(benchmark):
+    workload = make_workload("Rand", size=60, seed=2)
+
+    def run_all():
+        return {
+            k: delivery_under_failures(
+                workload, paths=k, failure_fractions=FRACTIONS, seed=2, trials=8
+            )
+            for k in (1, 2, 3)
+        }
+
+    by_paths = run_once(benchmark, run_all)
+    rows = []
+    for k, result_rows in by_paths.items():
+        for row in result_rows:
+            rows.append(
+                [
+                    k,
+                    row.failed_fraction,
+                    f"{row.delivered_fraction:.3f}",
+                    f"{row.mean_surviving_paths:.2f}",
+                ]
+            )
+    print()
+    print(
+        ascii_table(
+            ["paths", "failed frac", "delivered", "mean surviving paths"],
+            rows,
+        )
+    )
+    for index, fraction in enumerate(FRACTIONS):
+        single = by_paths[1][index]
+        triple = by_paths[3][index]
+        assert triple.delivered_fraction >= single.delivered_fraction
+        assert triple.mean_surviving_paths > single.mean_surviving_paths
+    # The aggregate improvement must be substantial, not just monotone.
+    gain = sum(r.delivered_fraction for r in by_paths[3]) - sum(
+        r.delivered_fraction for r in by_paths[1]
+    )
+    assert gain > 0.2

@@ -1,0 +1,34 @@
+"""§6 related work — FeedTree/Scribe vs LagOver on the same population.
+
+Shapes asserted: the DHT-geometry multicast tree satisfies far fewer
+per-node latency constraints than a constructed LagOver, violates
+declared fanouts, and drafts uninterested infrastructure peers into
+forwarding; LagOver satisfies everyone with zero of either.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import baselines_experiment as bx
+
+from benchmarks.conftest import run_once
+
+
+def test_feedtree_vs_lagover(benchmark):
+    rows = run_once(
+        benchmark,
+        bx.feedtree_comparison,
+        family="BiCorr",
+        population=100,
+        infrastructure_peers=80,
+    )
+    print()
+    print(ascii_table(bx.FEEDTREE_HEADERS, rows))
+
+    feedtree, lagover = rows
+    assert feedtree[0] == "FeedTree/Scribe"
+    # LagOver satisfies everyone; FeedTree leaves a large gap.
+    assert lagover[1] == 1.0
+    assert feedtree[1] < 0.9
+    # FeedTree ignores declared fanouts and drafts uninterested peers.
+    assert feedtree[4] > 0
+    assert feedtree[5] > 0
+    assert lagover[4] == 0 and lagover[5] == 0

@@ -1,0 +1,29 @@
+"""Figure 2 — run-to-run variation of Greedy + Oracle Random-Delay.
+
+Shape asserted: for a fixed workload draw and setting, construction
+latency varies substantially across seeds (max/min spread well above 1),
+which is what motivates the paper's repeat-5-take-median protocol.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import figure2
+
+from benchmarks.conftest import BENCH, run_once
+
+REPEATS = 12
+
+
+def test_fig2_convergence_variation(benchmark):
+    summaries = run_once(
+        benchmark, figure2.run, profile=BENCH, repeats=REPEATS
+    )
+    print()
+    print(ascii_table(figure2.HEADERS, figure2.rows(summaries)))
+
+    for family, summary in summaries.items():
+        # Every seed converged at bench scale...
+        assert summary.n == REPEATS, f"{family}: non-converged runs"
+        # ...and the latency is meaningfully seed-dependent.
+        assert summary.maximum > summary.minimum, f"{family}: no variation"
+    # The headline claim: at least one family shows a large spread.
+    assert max(s.spread_ratio for s in summaries.values()) >= 2.0

@@ -1,0 +1,55 @@
+"""Figure 3 — impact of the Oracle choice on Greedy construction latency.
+
+Shapes asserted (§5.2):
+
+* Oracle Random-Delay (O3) converges in every cell and is the best (or
+  within noise of the best) oracle overall;
+* Oracle Random (O1) converges everywhere, but slower than O3 overall;
+* Random-Delay-Capacity (O2b) gets stuck (fails runs) on at least one
+  workload — the capacity filter suppresses reconfiguration-enabling
+  interactions until no legal partner remains.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import figure3
+from repro.oracles.base import oracle_names
+from repro.workloads import PAPER_FAMILIES
+
+from benchmarks.conftest import BENCH_GRID, run_once
+
+
+def test_fig3_oracle_impact(benchmark):
+    grid = run_once(benchmark, figure3.run, profile=BENCH_GRID)
+    print()
+    print(ascii_table(figure3.headers(), figure3.rows(grid)))
+
+    o3_medians = []
+    o1_medians = []
+    o2b_failures = 0
+    for family in PAPER_FAMILIES:
+        o3 = grid[(family, "random-delay")]
+        o1 = grid[(family, "random")]
+        o2b = grid[(family, "random-delay-capacity")]
+        assert o3.failures == 0, f"O3 must always converge ({family})"
+        assert o1.failures == 0, f"O1 must always converge ({family})"
+        o3_medians.append(o3.median)
+        o1_medians.append(o1.median)
+        o2b_failures += o2b.failures
+    # O3 beats O1 in aggregate (paper: best performance overall).
+    assert sum(o3_medians) < sum(o1_medians)
+    # O2b starves somewhere (paper: "sometimes simply does not converge").
+    assert o2b_failures > 0
+
+
+def test_fig3_o3_never_starves_the_enquirer(benchmark):
+    """Secondary claim: O3's filter never leaves the overlay in a state
+    where only reconfiguration-blocked partners exist — measured as zero
+    failed runs across all families at a *tight* workload (Tf1)."""
+
+    def run_tf1():
+        return figure3.run(
+            profile=BENCH_GRID, families=("Tf1",), oracles=("random-delay",)
+        )
+
+    grid = run_once(benchmark, run_tf1)
+    assert grid[("Tf1", "random-delay")].failures == 0

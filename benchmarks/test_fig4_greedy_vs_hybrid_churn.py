@@ -1,0 +1,37 @@
+"""Figure 4 — Greedy vs Hybrid on BiCorr, without and with churn.
+
+Shapes asserted (§5.3):
+
+* every cell converges (median defined);
+* the Hybrid algorithm's median construction latency does not exceed the
+  Greedy one in either regime (joint latency/capacity optimization wins
+  on the correlated-bimodal worst case);
+* churn inflates construction latency for both algorithms.
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import figure4
+
+from benchmarks.conftest import BENCH, run_once
+
+
+def test_fig4_greedy_vs_hybrid_under_churn(benchmark):
+    grid = run_once(benchmark, figure4.run, profile=BENCH)
+    print()
+    print(ascii_table(figure4.HEADERS, figure4.rows(grid)))
+
+    for key, runs in grid.items():
+        assert runs.median is not None, f"{key} got stuck"
+
+    greedy_static = grid[("greedy", "static")].median
+    hybrid_static = grid[("hybrid", "static")].median
+    greedy_churn = grid[("greedy", "churn")].median
+    hybrid_churn = grid[("hybrid", "churn")].median
+
+    # Hybrid outperforms greedy in both regimes (allow a small noise
+    # margin at bench scale on the static side).
+    assert hybrid_static <= greedy_static * 1.25
+    assert hybrid_churn <= greedy_churn
+    # Churn costs rounds for both algorithms.
+    assert greedy_churn > greedy_static
+    assert hybrid_churn > hybrid_static

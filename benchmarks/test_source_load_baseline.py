@@ -1,0 +1,71 @@
+"""§1 motivation — the bandwidth-overload problem of direct polling.
+
+Shapes asserted:
+
+* the polling load on the source grows linearly with the population and,
+  past the source capacity, rejection rates soar and satisfaction
+  collapses;
+* a LagOver's source load is capped at the source fanout regardless of
+  population size (and its dissemination keeps every promise).
+"""
+
+from repro.analysis.reporting import ascii_table
+from repro.experiments import baselines_experiment as bx
+
+from benchmarks.conftest import run_once
+
+POPULATIONS = (30, 120, 360)
+
+
+def test_direct_polling_overload(benchmark):
+    rows = run_once(benchmark, bx.polling_sweep, populations=POPULATIONS)
+    print()
+    print(ascii_table(bx.POLLING_HEADERS, rows))
+
+    loads = [row[1] for row in rows]
+    rejected = [row[2] for row in rows]
+    satisfied = [row[3] for row in rows]
+    # Load grows roughly linearly with the population.
+    assert loads[1] > 2.5 * loads[0]
+    assert loads[2] > 2.5 * loads[1]
+    # Small population fine; large population overloaded and unsatisfied.
+    assert rejected[0] < 0.05 and satisfied[0] > 0.95
+    assert rejected[-1] > 0.5 and satisfied[-1] < 0.5
+    # The LagOver column is constant — the source serves f_0 pullers only.
+    assert len({row[4] for row in rows}) == 1
+
+
+def test_lagover_source_load_is_constant(benchmark):
+    """Build LagOvers at two population scales and measure actual pulls."""
+    from repro.feeds.dissemination import LagOverDissemination
+    from repro.feeds.source import FeedSource
+    from repro.sim.runner import Simulation, SimulationConfig
+    from repro.workloads import make as make_workload
+    import random
+
+    def measure(population):
+        workload = make_workload("Rand", size=population, seed=1)
+        simulation = Simulation(
+            workload, SimulationConfig(algorithm="hybrid", seed=1)
+        )
+        simulation.run()
+        assert simulation.overlay.is_converged()
+        source = FeedSource()
+        engine = LagOverDissemination(
+            simulation.overlay, source, random.Random(1)
+        )
+        engine.run(40.0)
+        return source.requests_total / 40.0, workload.source_fanout
+
+    def run_both():
+        return measure(40), measure(160)
+
+    (small_rate, fanout_small), (large_rate, fanout_large) = run_once(
+        benchmark, run_both
+    )
+    print(f"\npulls/unit at n=40: {small_rate:.2f}, at n=160: {large_rate:.2f}")
+    # Rate is bounded by the source fanout (one pull per puller per unit).
+    assert small_rate <= fanout_small + 0.5
+    assert large_rate <= fanout_large + 0.5
+    # And does not grow with the population.
+    assert large_rate <= small_rate * 1.25

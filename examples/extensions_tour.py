@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Tour of the §7 future-work extensions, implemented.
+
+The paper's conclusion sketches three directions; this example runs each
+one end-to-end:
+
+1. **Locality contexts** — build the same workload with plain Oracle
+   Random-Delay and with the locality-biased variant; compare the network
+   cost of the trees and the *measured* delivery freshness when per-hop
+   forwarding time follows real network distance.
+2. **Multi-feed reuse** — three feeds over one intersecting consumer
+   population; compare connection state with and without the reuse-biased
+   oracle.
+3. **Multipath delivery** — the P2P-video sketch: k LagOvers carrying k
+   stream descriptions; delivery probability under random node failures.
+
+Run:  python examples/extensions_tour.py
+"""
+
+from repro.analysis import ascii_table
+from repro.locality import run_pair
+from repro.multifeed import MultiFeedSystem, reuse_oracle_factory
+from repro.multipath import delivery_under_failures
+from repro.workloads import make as make_workload
+
+
+def locality_section() -> None:
+    print("1. Locality-gradated construction " + "-" * 30)
+    plain, local = run_pair(population=80, seed=1)
+    rows = [
+        [
+            o.variant,
+            o.construction_rounds,
+            round(o.mean_edge_distance, 3),
+            f"{o.same_domain_fraction:.0%}",
+            round(o.mean_delivered_staleness, 2),
+        ]
+        for o in (plain, local)
+    ]
+    print(
+        ascii_table(
+            ["oracle", "rounds", "edge distance", "same-domain", "staleness (T)"],
+            rows,
+        )
+    )
+    print()
+
+
+def multifeed_section() -> None:
+    print("2. Multi-feed reuse over intersecting consumers " + "-" * 16)
+    rows = []
+    for label, factory in (
+        ("independent", None),
+        ("reuse-biased", reuse_oracle_factory(0.9)),
+    ):
+        system = MultiFeedSystem(
+            ["news", "sports", "tech"],
+            consumer_count=60,
+            seed=4,
+            oracle_factory=factory,
+        )
+        assert system.run_sequential()
+        metrics = system.reuse_metrics()
+        rows.append(
+            [
+                label,
+                metrics.distinct_partnerships,
+                metrics.reused_partnerships,
+                f"{metrics.reuse_fraction:.0%}",
+                round(metrics.mean_neighbors_per_consumer, 2),
+            ]
+        )
+    print(
+        ascii_table(
+            ["oracle", "partnerships", "reused", "reuse frac", "mean neighbors"],
+            rows,
+        )
+    )
+    print()
+
+
+def multipath_section() -> None:
+    print("3. Multipath delivery under node failures " + "-" * 22)
+    workload = make_workload("Rand", size=60, seed=2)
+    rows = []
+    for paths in (1, 2, 3):
+        for row in delivery_under_failures(
+            workload, paths=paths, failure_fractions=[0.1, 0.25], seed=2, trials=8
+        ):
+            rows.append(
+                [
+                    paths,
+                    f"{row.failed_fraction:.0%}",
+                    f"{row.delivered_fraction:.1%}",
+                    round(row.mean_surviving_paths, 2),
+                ]
+            )
+    print(
+        ascii_table(
+            ["paths", "failed", "still delivered", "surviving descriptions"],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    locality_section()
+    multifeed_section()
+    multipath_section()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Oracle comparison: why partial information helps and precise hurts.
+
+Reproduces the §5.2 story interactively on one workload: the four
+oracles (O1 Random, O2a Random-Capacity, O2b Random-Delay-Capacity, O3
+Random-Delay) driving the Greedy construction, plus the distributed
+realizations of O3 (DHT directory) and O1 (gossip random walkers).
+
+Run:  python examples/oracle_comparison.py
+"""
+
+from repro import SimulationConfig, run_simulation, workloads
+from repro.analysis import ascii_table
+
+
+def cell(result):
+    if not result.converged:
+        return f"stuck (sat {result.final_quality.satisfied_fraction:.0%})"
+    return f"{result.construction_rounds} rounds"
+
+
+def main() -> None:
+    workload = workloads.make("BiCorr", size=120, seed=2)
+    print(f"workload: {workload.describe()}\n")
+
+    rows = []
+    cases = [
+        ("O1  Random (omniscient)", "random", "omniscient"),
+        ("O2a Random-Capacity", "random-capacity", "omniscient"),
+        ("O2b Random-Delay-Capacity", "random-delay-capacity", "omniscient"),
+        ("O3  Random-Delay", "random-delay", "omniscient"),
+        ("O3  via DHT directory", "random-delay", "dht"),
+        ("O1  via random walkers", "random", "random-walk"),
+    ]
+    for label, oracle, realization in cases:
+        result = run_simulation(
+            workload,
+            SimulationConfig(
+                algorithm="greedy",
+                oracle=oracle,
+                oracle_realization=realization,
+                seed=2,
+                max_rounds=6000,
+            ),
+        )
+        rows.append([label, cell(result), result.oracle_misses])
+    print(ascii_table(["oracle", "construction", "oracle misses"], rows))
+    print(
+        "\nThe §5.2 lesson: filtering on *delay* prunes useless partners "
+        "(O3 fastest); filtering on *capacity* prunes exactly the partners "
+        "through which reconfigurations happen (O2b can starve outright — "
+        "'misusing global information may in fact even be counter "
+        "productive')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so editable installs also work on
+environments whose setuptools/pip combination lacks PEP 660 support
+(``pip install -e . --no-use-pep517`` falls back to this file).
+"""
+
+from setuptools import setup
+
+setup()

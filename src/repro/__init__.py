@@ -1,0 +1,90 @@
+"""LagOver: Latency Gradated Overlays — a full reproduction.
+
+Reproduces Datta, Stoica & Franklin, *LagOver: Latency Gradated Overlays*
+(ICDCS 2007): a self-organizing dissemination-tree overlay in which
+information consumers place themselves according to their individual
+latency and fanout constraints, built from random oracle-brokered
+interactions with no global coordination.
+
+Quickstart
+----------
+>>> from repro import SimulationConfig, run_simulation, workloads
+>>> workload = workloads.make("Tf1", size=120)
+>>> result = run_simulation(workload, SimulationConfig(
+...     algorithm="hybrid", oracle="random-delay", seed=1))
+>>> result.converged
+True
+
+Package map
+-----------
+``repro.core``
+    The paper's contribution: overlay model, Greedy and Hybrid
+    construction, maintenance rules, sufficiency condition.
+``repro.oracles``
+    The four partner-sampling oracles (O1, O2a, O2b, O3) and their
+    distributed realizations.
+``repro.sim``
+    Discrete-time round loop, churn, asynchrony, metrics, and a
+    discrete-event engine for the substrates.
+``repro.workloads``
+    Tf1, Rand, BiCorr, BiUnCorr and the §3.3.1 adversarial set.
+``repro.network`` / ``repro.dht`` / ``repro.gossip``
+    Message-passing substrate, a Chord-style DHT, and an unstructured
+    gossip overlay — the infrastructures the paper's oracle sketch
+    (OpenDHT, random walkers) assumes.
+``repro.feeds``
+    RSS-style pull-only source and feed dissemination over a built
+    LagOver, with staleness measurement.
+``repro.baselines``
+    Direct client–server polling and a FeedTree/Scribe-style multicast
+    tree, for the motivating and related-work comparisons.
+``repro.experiments``
+    Runnable reproductions of every figure in §5.
+"""
+
+from repro import workloads
+from repro.core import (
+    GreedyConstruction,
+    HybridConstruction,
+    LagOverError,
+    Node,
+    NodeSpec,
+    Overlay,
+    ProtocolConfig,
+    find_feasible_configuration,
+    sufficiency_holds,
+)
+from repro.oracles import Oracle, make_oracle, oracle_names
+from repro.sim import (
+    AsynchronyConfig,
+    ChurnConfig,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AsynchronyConfig",
+    "ChurnConfig",
+    "GreedyConstruction",
+    "HybridConstruction",
+    "LagOverError",
+    "Node",
+    "NodeSpec",
+    "Oracle",
+    "Overlay",
+    "ProtocolConfig",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "__version__",
+    "find_feasible_configuration",
+    "make_oracle",
+    "oracle_names",
+    "run_simulation",
+    "sufficiency_holds",
+    "workloads",
+]

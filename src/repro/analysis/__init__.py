@@ -1,0 +1,35 @@
+"""Statistics, series analysis and plain-text reporting."""
+
+from repro.analysis.convergence_analysis import (
+    SeriesProfile,
+    profile,
+    steady_state_mean,
+    time_to_fraction,
+    worst_dip,
+)
+from repro.analysis.dot import overlay_to_dot
+from repro.analysis.reporting import ascii_table, banner, format_cell
+from repro.analysis.stats import (
+    MedianOfRuns,
+    Summary,
+    median,
+    quantile,
+    summarize,
+)
+
+__all__ = [
+    "MedianOfRuns",
+    "SeriesProfile",
+    "Summary",
+    "ascii_table",
+    "banner",
+    "format_cell",
+    "median",
+    "overlay_to_dot",
+    "profile",
+    "quantile",
+    "steady_state_mean",
+    "summarize",
+    "time_to_fraction",
+    "worst_dip",
+]

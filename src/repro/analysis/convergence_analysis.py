@@ -1,0 +1,64 @@
+"""Time-series analysis of construction runs.
+
+The satisfied-fraction series recorded every round carries more
+information than the single construction-latency number: how fast the
+bulk of the population gets satisfied, and how stable satisfaction is
+under churn.  These helpers extract the derived measures the churn and
+ablation benches report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+
+def time_to_fraction(series: Sequence[float], threshold: float) -> Optional[int]:
+    """First round (1-based) at which the satisfied fraction reaches
+    ``threshold``, or ``None`` if it never does."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    for index, value in enumerate(series):
+        if value >= threshold:
+            return index + 1
+    return None
+
+
+def steady_state_mean(series: Sequence[float], warmup: int) -> float:
+    """Mean satisfied fraction after discarding ``warmup`` rounds."""
+    tail = list(series[warmup:])
+    if not tail:
+        raise ValueError("series shorter than warmup")
+    return sum(tail) / len(tail)
+
+
+def worst_dip(series: Sequence[float], warmup: int) -> float:
+    """Lowest satisfaction observed after warmup (churn-resilience floor)."""
+    tail = list(series[warmup:])
+    if not tail:
+        raise ValueError("series shorter than warmup")
+    return min(tail)
+
+
+@dataclasses.dataclass(frozen=True)
+class SeriesProfile:
+    """Convergence profile of one run's satisfied-fraction series."""
+
+    rounds: int
+    time_to_half: Optional[int]
+    time_to_90: Optional[int]
+    time_to_all: Optional[int]
+    final: float
+
+
+def profile(series: Sequence[float]) -> SeriesProfile:
+    """Standard milestones of a satisfaction series."""
+    if not series:
+        raise ValueError("empty series")
+    return SeriesProfile(
+        rounds=len(series),
+        time_to_half=time_to_fraction(series, 0.5),
+        time_to_90=time_to_fraction(series, 0.9),
+        time_to_all=time_to_fraction(series, 1.0),
+        final=series[-1],
+    )

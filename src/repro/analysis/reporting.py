@@ -1,0 +1,44 @@
+"""Plain-text tables for experiment output.
+
+Every experiment and benchmark prints its rows through these helpers so
+EXPERIMENTS.md, the bench logs, and interactive runs all show the same
+format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_cell(value: object) -> str:
+    """Human-friendly cell rendering (floats to 3 significant digits)."""
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned, pipe-separated table with a rule under headers."""
+    rendered: List[List[str]] = [[format_cell(h) for h in headers]]
+    for row in rows:
+        rendered.append([format_cell(cell) for cell in row])
+    widths = [
+        max(len(line[column]) for line in rendered)
+        for column in range(len(rendered[0]))
+    ]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def banner(title: str) -> str:
+    """Section banner used by the experiment CLIs."""
+    rule = "=" * len(title)
+    return f"{rule}\n{title}\n{rule}"

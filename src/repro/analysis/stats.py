@@ -1,0 +1,114 @@
+"""Small statistics helpers for the evaluation harness.
+
+The paper's protocol (§5.1): construction latency has high run-to-run
+variance, so "experiments were repeated 5 times and the median performance
+was chosen as the representative".  :func:`summarize` provides the spread
+numbers Fig. 2 visualizes; :class:`MedianOfRuns` packages the
+repeat-and-take-median protocol including non-converged runs, which must
+be reported (O2a/O2b starve by design) rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Summary:
+    """Five-number summary plus mean of a sample."""
+
+    n: int
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+
+    @property
+    def spread_ratio(self) -> float:
+        """max/min — Fig. 2's headline variance measure (inf if min is 0)."""
+        if self.minimum == 0:
+            return math.inf
+        return self.maximum / self.minimum
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("quantile of empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(sorted_values[low])
+    fraction = position - low
+    return float(
+        sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+    )
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of an unsorted sample."""
+    return quantile(sorted(values), 0.5)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Five-number summary plus mean."""
+    if not values:
+        raise ValueError("summarize of empty sample")
+    ordered = sorted(float(v) for v in values)
+    return Summary(
+        n=len(ordered),
+        minimum=ordered[0],
+        p25=quantile(ordered, 0.25),
+        median=quantile(ordered, 0.5),
+        p75=quantile(ordered, 0.75),
+        maximum=ordered[-1],
+        mean=sum(ordered) / len(ordered),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class MedianOfRuns:
+    """The paper's repeat-5-take-median protocol, starvation-aware.
+
+    ``values`` holds per-run construction latencies; ``None`` entries are
+    runs that did not converge within their budget.
+    """
+
+    values: List[Optional[int]]
+
+    @property
+    def runs(self) -> int:
+        return len(self.values)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for v in self.values if v is None)
+
+    @property
+    def converged_values(self) -> List[int]:
+        return [v for v in self.values if v is not None]
+
+    @property
+    def median(self) -> Optional[float]:
+        """Median over converged runs; ``None`` when a majority failed —
+        a median of survivors would misleadingly flatter a starving
+        configuration."""
+        converged = self.converged_values
+        if len(converged) * 2 <= self.runs:
+            return None
+        return median(converged)
+
+    def render(self) -> str:
+        """Compact cell text: ``'42'``, ``'97 (2/5 failed)'`` or ``'stuck'``."""
+        if self.median is None:
+            return f"stuck ({self.failures}/{self.runs} failed)"
+        if self.failures:
+            return f"{self.median:g} ({self.failures}/{self.runs} failed)"
+        return f"{self.median:g}"

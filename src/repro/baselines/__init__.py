@@ -1,0 +1,14 @@
+"""Baselines: direct client-server polling and FeedTree/Scribe multicast."""
+
+from repro.baselines.client_server import DirectPollingBaseline, PollingReport
+from repro.baselines.feedtree import FeedTreeReport, evaluate_feedtree
+from repro.baselines.scribe import ScribeMulticast, ScribeTree
+
+__all__ = [
+    "DirectPollingBaseline",
+    "FeedTreeReport",
+    "PollingReport",
+    "ScribeMulticast",
+    "ScribeTree",
+    "evaluate_feedtree",
+]

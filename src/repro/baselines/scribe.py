@@ -1,0 +1,111 @@
+"""Scribe-style application-level multicast over the Chord substrate.
+
+FeedTree (§6, the closest related system) disseminates feeds over a
+Scribe multicast tree built on a DHT: a feed's *rendezvous* is the DHT
+peer owning the feed key; each subscriber routes a JOIN towards the
+rendezvous, grafting onto the tree at the first peer already on it.  The
+resulting per-feed tree is determined entirely by identifier geometry —
+it knows nothing of individual latency or fanout constraints, which is
+exactly the contrast the paper draws with LagOver.
+
+We build the tree over a ring that contains the feed's consumers *plus*
+the uninterested DHT peers that happen to lie on routing paths — another
+FeedTree cost the paper calls out ("involving peers uninterested in a
+feed in multicasting the same").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.core.errors import ConfigurationError
+from repro.dht.chord import ChordPeer, ChordRing
+from repro.dht.hashspace import hash_key
+
+
+@dataclasses.dataclass
+class ScribeTree:
+    """A built multicast tree for one group (feed)."""
+
+    group: str
+    rendezvous: str
+    parent: Dict[str, Optional[str]]  # member -> parent (None = rendezvous)
+    members: Set[str]  # subscribers (the interested consumers)
+
+    def depth(self, name: str) -> int:
+        """Hops from the rendezvous to ``name`` along the tree."""
+        hops = 0
+        current = name
+        while self.parent.get(current) is not None:
+            current = self.parent[current]
+            hops += 1
+            if hops > len(self.parent) + 1:
+                raise ConfigurationError("cycle in scribe tree")
+        return hops
+
+    def children_count(self, name: str) -> int:
+        """Forwarding load (number of tree children) of a peer."""
+        return sum(1 for parent in self.parent.values() if parent == name)
+
+    def forwarders(self) -> Set[str]:
+        """Peers carrying traffic without having subscribed."""
+        on_tree = set(self.parent)
+        return on_tree - self.members - {self.rendezvous}
+
+
+class ScribeMulticast:
+    """Builds Scribe trees on a :class:`ChordRing`."""
+
+    def __init__(self, ring: ChordRing) -> None:
+        self.ring = ring
+
+    def _route(self, start: ChordPeer, key: int) -> List[ChordPeer]:
+        """The Chord routing path from ``start`` to the key's owner,
+        inclusive of both endpoints."""
+        path = [start]
+        node = start
+        from repro.dht.hashspace import in_interval
+
+        limit = 2 * self.ring.bits + len(self.ring)
+        while not in_interval(
+            key, node.ident, node.successor.ident, inclusive_right=True,
+            bits=self.ring.bits,
+        ):
+            nxt = node.closest_preceding_finger(key)
+            if nxt is node:
+                break
+            node = nxt
+            path.append(node)
+            if len(path) > limit:  # pragma: no cover
+                raise ConfigurationError("routing did not terminate")
+        owner = node.successor if len(self.ring) > 1 else node
+        if path[-1] is not owner:
+            path.append(owner)
+        return path
+
+    def build_tree(self, group: str, subscribers: List[str]) -> ScribeTree:
+        """JOIN every subscriber, grafting onto the existing tree."""
+        if not len(self.ring):
+            raise ConfigurationError("cannot build a tree on an empty ring")
+        key = hash_key(group, self.ring.bits)
+        rendezvous = self.ring.find_successor(key)[0]
+        parent: Dict[str, Optional[str]] = {rendezvous.name: None}
+        for name in subscribers:
+            peer = self.ring.peer(name)
+            if peer.name in parent:
+                continue
+            path = self._route(peer, key)
+            # Walk the path towards the rendezvous; each hop's parent is
+            # the next hop, stopping at the first peer already on the tree.
+            for index, hop in enumerate(path):
+                if hop.name in parent:
+                    break
+                next_hop = path[index + 1] if index + 1 < len(path) else rendezvous
+                parent[hop.name] = next_hop.name
+        return ScribeTree(
+            group=group,
+            rendezvous=rendezvous.name,
+            parent=parent,
+            members=set(subscribers),
+        )

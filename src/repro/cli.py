@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Four commands cover the common workflows:
+
+``build``
+    Run one construction and report the outcome (optionally render the
+    tree and run a feed-delivery check over it).
+``workload``
+    Describe a workload family instance: constraint histograms and
+    whether the §3.3 sufficiency condition holds.
+``feasibility``
+    Decide feasibility for a small population given in the paper's
+    ``name_f^l`` notation (exact search + sufficiency condition).
+``experiment``
+    Run one of the full-scale paper experiments by name.
+
+Examples::
+
+    python -m repro.cli build --workload BiCorr --algorithm hybrid --render
+    python -m repro.cli workload --workload Tf1 --size 120
+    python -m repro.cli feasibility --source-fanout 1 "1_1^1 2_1^2 3_2^5 4_1^4 5_0^4"
+    python -m repro.cli experiment figure3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.reporting import ascii_table
+from repro.core.constraints import parse_population
+from repro.core.sufficiency import find_feasible_configuration, sufficiency_holds
+from repro.sim.churn import ChurnConfig
+from repro.sim.runner import ALGORITHMS, Simulation, SimulationConfig
+from repro.oracles.base import oracle_names
+from repro.workloads import family_names, make as make_workload
+
+EXPERIMENTS = (
+    "figure2",
+    "figure3",
+    "figure4",
+    "asynchrony",
+    "adversarial",
+    "baselines_experiment",
+    "ablations",
+    "extensions",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LagOver (ICDCS 2007) reproduction CLI"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="run one construction")
+    build.add_argument("--workload", default="Rand", choices=family_names())
+    build.add_argument("--size", type=int, default=120)
+    build.add_argument(
+        "--algorithm", default="hybrid", choices=sorted(ALGORITHMS)
+    )
+    build.add_argument("--oracle", default="random-delay", choices=oracle_names())
+    build.add_argument(
+        "--oracle-realization",
+        default="omniscient",
+        choices=("omniscient", "dht", "random-walk"),
+    )
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--max-rounds", type=int, default=6000)
+    build.add_argument(
+        "--churn", action="store_true", help="enable the paper's churn model"
+    )
+    build.add_argument(
+        "--render", action="store_true", help="print the final tree"
+    )
+    build.add_argument(
+        "--deliver",
+        action="store_true",
+        help="run a feed-delivery staleness check over the built overlay",
+    )
+    build.add_argument(
+        "--workload-file",
+        default=None,
+        help="load the population from a JSON file (see 'workload --save') "
+        "instead of generating it",
+    )
+    build.add_argument(
+        "--dot",
+        default=None,
+        metavar="PATH",
+        help="write the final overlay as a Graphviz DOT file",
+    )
+
+    workload = commands.add_parser("workload", help="describe a workload")
+    workload.add_argument("--workload", default="Rand", choices=family_names())
+    workload.add_argument("--size", type=int, default=120)
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument(
+        "--save",
+        default=None,
+        metavar="PATH",
+        help="also write the materialized population as JSON",
+    )
+
+    feasibility = commands.add_parser(
+        "feasibility", help="exact feasibility of a small population"
+    )
+    feasibility.add_argument(
+        "population",
+        help="whitespace/comma separated specs in name_f^l notation",
+    )
+    feasibility.add_argument("--source-fanout", type=int, default=1)
+
+    experiment = commands.add_parser(
+        "experiment", help="run a full-scale paper experiment"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    return parser
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    if args.workload_file:
+        from repro.workloads import load_workload
+
+        workload = load_workload(args.workload_file)
+    else:
+        workload = make_workload(args.workload, size=args.size, seed=args.seed)
+    print(workload.describe())
+    config = SimulationConfig(
+        algorithm=args.algorithm,
+        oracle=args.oracle,
+        oracle_realization=args.oracle_realization,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        churn=ChurnConfig() if args.churn else None,
+    )
+    simulation = Simulation(workload, config)
+    result = simulation.run()
+    print(
+        ascii_table(
+            ["converged", "rounds", "attaches", "detaches", "oracle misses"],
+            [
+                [
+                    result.converged,
+                    result.construction_rounds,
+                    result.attaches,
+                    result.detaches,
+                    result.oracle_misses,
+                ]
+            ],
+        )
+    )
+    if args.render:
+        print()
+        print(simulation.overlay.render())
+    if args.dot:
+        from repro.analysis.dot import overlay_to_dot
+
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(overlay_to_dot(simulation.overlay, workload.name))
+        print(f"\nwrote {args.dot}")
+    if args.deliver:
+        from repro.feeds import disseminate
+
+        report = disseminate(simulation.overlay, duration=60.0, seed=args.seed)
+        print(
+            f"\ndelivery check: {report.satisfied_fraction:.0%} within "
+            f"promise (worst violation {report.worst_violation():+.2f})"
+        )
+    return 0 if result.converged else 1
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload, size=args.size, seed=args.seed)
+    print(workload.describe())
+    print(f"sufficiency condition holds: {workload.satisfies_sufficiency()}")
+    if args.save:
+        from repro.workloads import save_workload
+
+        save_workload(workload, args.save)
+        print(f"saved population to {args.save}")
+    print(
+        ascii_table(
+            ["latency l", "count"],
+            sorted(workload.latency_histogram().items()),
+        )
+    )
+    print(
+        ascii_table(
+            ["fanout f", "count"],
+            sorted(workload.fanout_histogram().items()),
+        )
+    )
+    return 0
+
+
+def _cmd_feasibility(args: argparse.Namespace) -> int:
+    population = parse_population(args.population)
+    specs = [spec for _, spec in population]
+    sufficient = sufficiency_holds(args.source_fanout, specs)
+    print(f"sufficiency condition (§3.3): {sufficient}")
+    assignment = find_feasible_configuration(args.source_fanout, specs)
+    if assignment is None:
+        print("exact search: NO feasible configuration exists")
+        return 1
+    rows = [
+        [name, spec.label(name), assignment[index]]
+        for index, (name, spec) in enumerate(population)
+    ]
+    print("exact search: feasible; one witness depth assignment:")
+    print(ascii_table(["node", "spec", "depth"], rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "build":
+        return _cmd_build(args)
+    if args.command == "workload":
+        return _cmd_workload(args)
+    if args.command == "feasibility":
+        return _cmd_feasibility(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Core LagOver machinery: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.constraints.NodeSpec` — per-node latency/fanout pair.
+* :class:`~repro.core.tree.Overlay` — the overlay forest with the paper's
+  chain metadata (``Parent``, ``Children``, ``Root``, ``DelayAt``).
+* :class:`~repro.core.greedy.GreedyConstruction` and
+  :class:`~repro.core.hybrid.HybridConstruction` — the two construction
+  algorithms of §3, with their maintenance rules.
+* :mod:`~repro.core.sufficiency` — existence condition (§3.3) and exact
+  feasibility search.
+"""
+
+from repro.core.constraints import NodeSpec, parse_population, parse_spec
+from repro.core.convergence import OverlayQuality, measure
+from repro.core.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    FanoutExceededError,
+    InvalidConstraintError,
+    LagOverError,
+    OfflineNodeError,
+    TopologyError,
+    UnknownNodeError,
+)
+from repro.core.greedy import GreedyConstruction
+from repro.core.hybrid import HybridConstruction
+from repro.core.node import SOURCE_ID, Node
+from repro.core.protocol import ConstructionAlgorithm, ProtocolConfig
+from repro.core.sufficiency import (
+    find_feasible_configuration,
+    sufficiency_holds,
+)
+from repro.core.tree import Overlay
+
+__all__ = [
+    "SOURCE_ID",
+    "ConfigurationError",
+    "ConstructionAlgorithm",
+    "ConvergenceError",
+    "FanoutExceededError",
+    "GreedyConstruction",
+    "HybridConstruction",
+    "InvalidConstraintError",
+    "LagOverError",
+    "Node",
+    "NodeSpec",
+    "OfflineNodeError",
+    "Overlay",
+    "OverlayQuality",
+    "ProtocolConfig",
+    "TopologyError",
+    "UnknownNodeError",
+    "find_feasible_configuration",
+    "measure",
+    "parse_population",
+    "parse_spec",
+    "sufficiency_holds",
+]

@@ -1,0 +1,102 @@
+"""Per-node constraint declarations.
+
+The paper (Table 1) writes a consumer as ``i_f^l`` — node *i* with maximum
+fanout *f* and delay (latency) constraint *l*.  :class:`NodeSpec` is the
+in-code counterpart: an immutable pair of the two constraints.
+
+Units
+-----
+Latency constraints are expressed in *delay units*: a node pulling directly
+from the source at period ``T`` observes information no staler than one
+unit, and every push hop downstream adds one unit (see
+:mod:`repro.core.tree` for the exact delay model).  A latency constraint
+must therefore be at least 1 — no consumer can be fresher than a direct
+puller.
+
+Fanout is the number of *children* a node is willing to serve; zero is
+legal (a pure leaf, e.g. node ``5_0^3`` in the paper's §3.3.1
+counter-example).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterable, List, Tuple
+
+from repro.core.errors import InvalidConstraintError
+
+#: Nodes may declare any positive latency constraint; this cap only guards
+#: against accidental use of a float('inf')-like sentinel in specs.
+MAX_LATENCY = 10**9
+
+#: Upper bound on declared fanout, to catch corrupted workload files.
+MAX_FANOUT = 10**9
+
+_SPEC_PATTERN = re.compile(r"^(?P<name>[A-Za-z0-9]+)_(?P<fanout>\d+)\^(?P<latency>\d+)$")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class NodeSpec:
+    """Immutable latency/fanout constraint pair for one consumer.
+
+    Attributes
+    ----------
+    latency:
+        ``l_i`` — maximum tolerated delay, in delay units (>= 1).
+    fanout:
+        ``f_i`` — maximum number of children the node will serve (>= 0).
+    """
+
+    latency: int
+    fanout: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.latency, int) or isinstance(self.latency, bool):
+            raise InvalidConstraintError(f"latency must be an int, got {self.latency!r}")
+        if not isinstance(self.fanout, int) or isinstance(self.fanout, bool):
+            raise InvalidConstraintError(f"fanout must be an int, got {self.fanout!r}")
+        if not 1 <= self.latency <= MAX_LATENCY:
+            raise InvalidConstraintError(
+                f"latency constraint must be in [1, {MAX_LATENCY}], got {self.latency}"
+            )
+        if not 0 <= self.fanout <= MAX_FANOUT:
+            raise InvalidConstraintError(
+                f"fanout constraint must be in [0, {MAX_FANOUT}], got {self.fanout}"
+            )
+
+    def label(self, name: object) -> str:
+        """Render in the paper's ``name_f^l`` notation (e.g. ``a_2^1``)."""
+        return f"{name}_{self.fanout}^{self.latency}"
+
+
+def parse_spec(text: str) -> Tuple[str, NodeSpec]:
+    """Parse the paper's ``name_f^l`` notation into ``(name, NodeSpec)``.
+
+    >>> parse_spec("a_2^1")
+    ('a', NodeSpec(latency=1, fanout=2))
+    """
+    match = _SPEC_PATTERN.match(text.strip())
+    if match is None:
+        raise InvalidConstraintError(f"cannot parse node spec {text!r} (want 'name_f^l')")
+    return match.group("name"), NodeSpec(
+        latency=int(match.group("latency")), fanout=int(match.group("fanout"))
+    )
+
+
+def parse_population(text: str) -> List[Tuple[str, NodeSpec]]:
+    """Parse a comma/whitespace separated list of ``name_f^l`` specs.
+
+    Convenient for transcribing the paper's toy populations verbatim:
+
+    >>> pop = parse_population("a_2^1, b_2^3, c_2^3")
+    >>> [name for name, _ in pop]
+    ['a', 'b', 'c']
+    """
+    items = [chunk for chunk in re.split(r"[,\s]+", text.strip()) if chunk]
+    return [parse_spec(item) for item in items]
+
+
+def total_fanout(specs: Iterable[NodeSpec]) -> int:
+    """Sum of fanout constraints — the total capacity a population offers."""
+    return sum(spec.fanout for spec in specs)

@@ -1,0 +1,107 @@
+"""Convergence predicates and overlay quality metrics.
+
+The paper's headline metric is *construction latency* — the number of
+rounds until the overlay first satisfies every online consumer (§5).  The
+round loop itself lives in :mod:`repro.sim.runner`; this module provides
+the predicates and the per-snapshot quality measures used by the
+evaluation and the analysis package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.core.node import Node
+from repro.core.tree import Overlay
+
+
+@dataclasses.dataclass(frozen=True)
+class OverlayQuality:
+    """Point-in-time quality measures of an overlay under construction.
+
+    Attributes
+    ----------
+    online:
+        Number of online consumers.
+    rooted:
+        How many of them are connected (via their chain) to the source.
+    satisfied:
+        How many are rooted *and* within their latency constraint.
+    fragments:
+        Number of disjoint groups (the source tree plus orphan fragments).
+    max_depth:
+        Deepest rooted consumer, in hops below the source.
+    mean_slack:
+        Mean of ``l_i - DelayAt(i)`` over satisfied consumers (how much
+        latency budget the construction left unused); 0.0 if none.
+    used_source_fanout:
+        Direct children of the source (the load LagOver leaves on it).
+    """
+
+    online: int
+    rooted: int
+    satisfied: int
+    fragments: int
+    max_depth: int
+    mean_slack: float
+    used_source_fanout: int
+
+    @property
+    def satisfied_fraction(self) -> float:
+        """Fraction of online consumers whose constraint is met."""
+        return self.satisfied / self.online if self.online else 1.0
+
+    @property
+    def converged(self) -> bool:
+        """Whether every online consumer is satisfied."""
+        return self.satisfied == self.online
+
+
+def measure(overlay: Overlay) -> OverlayQuality:
+    """Compute :class:`OverlayQuality` for the current overlay state."""
+    online = overlay.online_consumers
+    rooted = [n for n in online if overlay.is_rooted(n)]
+    satisfied = [n for n in rooted if overlay.delay_at(n) <= n.latency]
+    slacks = [n.latency - overlay.delay_at(n) for n in satisfied]
+    return OverlayQuality(
+        online=len(online),
+        rooted=len(rooted),
+        satisfied=len(satisfied),
+        fragments=len(overlay.fragments()),
+        max_depth=max((overlay.delay_at(n) for n in rooted), default=0),
+        mean_slack=(sum(slacks) / len(slacks)) if slacks else 0.0,
+        used_source_fanout=len(overlay.source.children),
+    )
+
+
+def depth_histogram(overlay: Overlay) -> Dict[int, int]:
+    """Histogram ``{depth: count}`` of rooted online consumers."""
+    histogram: Dict[int, int] = {}
+    for node in overlay.online_consumers:
+        if overlay.is_rooted(node):
+            depth = overlay.delay_at(node)
+            histogram[depth] = histogram.get(depth, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def violated_nodes(overlay: Overlay) -> List[Node]:
+    """Online consumers that currently do not meet their constraint."""
+    return [n for n in overlay.online_consumers if not overlay.meets_latency(n)]
+
+
+def latency_gradation_violations(overlay: Overlay) -> List[Node]:
+    """Consumer edges breaking the greedy invariant ``l_parent <= l_child``.
+
+    Returns the child node of each violating edge.  Empty for any overlay
+    built purely by the Greedy algorithm; generally non-empty for the
+    Hybrid algorithm — this measure quantifies how far Hybrid strays from
+    strict gradation while still meeting everyone's constraints.
+    """
+    violations = []
+    for node in overlay.online_consumers:
+        parent = node.parent
+        if parent is not None and not parent.is_source:
+            if parent.latency > node.latency:
+                violations.append(node)
+    return violations

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the LagOver reproduction.
+
+All library-specific errors derive from :class:`LagOverError`, so callers can
+catch a single base class.  Errors are raised for *programming* mistakes
+(attaching a node to itself, exceeding a fanout explicitly, ...).  Expected
+algorithmic outcomes — an interaction that does not result in a
+reconfiguration, an oracle that finds no candidate — are reported through
+return values, never through exceptions, because they are part of the normal
+control flow of the construction protocols.
+"""
+
+from __future__ import annotations
+
+
+class LagOverError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidConstraintError(LagOverError, ValueError):
+    """A latency or fanout constraint is out of its legal domain."""
+
+
+class TopologyError(LagOverError):
+    """An overlay mutation would corrupt the tree structure.
+
+    Raised for cycle-creating attachments, double-attachments, detaching a
+    node that has no parent, and similar structural violations.
+    """
+
+
+class FanoutExceededError(TopologyError):
+    """An attachment would push a parent beyond its declared fanout."""
+
+
+class UnknownNodeError(LagOverError, KeyError):
+    """A node id was looked up that is not part of the overlay."""
+
+
+class OfflineNodeError(LagOverError):
+    """An operation involved a node that is currently offline."""
+
+
+class ConfigurationError(LagOverError, ValueError):
+    """A simulation or experiment configuration is inconsistent."""
+
+
+class ConvergenceError(LagOverError):
+    """A run that was required to converge did not (used by strict helpers)."""

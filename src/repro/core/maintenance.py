@@ -1,0 +1,109 @@
+"""Maintenance operations (§3.2 and the Hybrid damping rule of §3.4).
+
+A node whose latency constraint cannot be met in its current position must
+discard its parent and locally restart construction — but doing so eagerly
+("knee-jerk", in the paper's words) wastes the structure already built and
+inflates overlay dynamicity.  The paper therefore derives *lazy* rules:
+
+Greedy (Algorithm 1)
+    Leave the parent iff ``DelayAt(i) == l_i + 1`` **and** ``Root(i) == 0``.
+    The §3.2 Lemma proves this exact condition identifies precisely the
+    first (most upstream) constraint-violated node of a chain, because the
+    greedy invariant ``l_parent <= l_child`` holds on every edge.
+
+Hybrid (§3.4)
+    The invariant does not hold, so ``DelayAt`` can overshoot ``l_i + 1``
+    arbitrarily and the exact condition is no longer sufficient.  Instead a
+    node with ``DelayAt(i) > l_i`` and ``Root(i) == 0`` waits for a
+    *maintenance timeout* before leaving, damping knee-jerk reactions.
+
+Both rules fire only for nodes rooted at the source: an unrooted fragment
+reports only *potential* delay, and tearing it down would destroy reusable
+structure (the ``j <- i`` example of §3.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.node import Node
+from repro.core.tree import Overlay
+
+
+def greedy_maintenance(overlay: Overlay, node: Node) -> bool:
+    """Algorithm 1: leave iff ``DelayAt == l + 1`` and rooted at the source.
+
+    Returns ``True`` if the node discarded its parent.
+    """
+    if node.parent is None or node.is_source or not node.online:
+        return False
+    if not overlay.is_rooted(node):
+        return False
+    if overlay.delay_at(node) != node.latency + 1:
+        return False
+    former_parent = node.parent
+    overlay.detach(node)
+    node.rounds_without_parent = 0
+    # The node knows its upstream chain (§2.1.3): being exactly one hop too
+    # deep, its former grandparent is where it needs to sit — start there.
+    if former_parent is not None and former_parent.parent is not None:
+        node.referral = former_parent.parent
+    return True
+
+
+def hybrid_maintenance(
+    overlay: Overlay,
+    node: Node,
+    maintenance_timeout: int,
+) -> bool:
+    """Timeout-damped rule for the Hybrid algorithm (§3.4).
+
+    The node's :attr:`~repro.core.node.Node.violation_rounds` counter is
+    advanced while ``DelayAt > l`` and ``Root == 0`` hold, cleared when the
+    violation disappears (e.g. an upstream reconfiguration fixed it), and
+    the parent is discarded only once the counter exceeds
+    ``maintenance_timeout`` consecutive rounds.
+
+    Returns ``True`` if the node discarded its parent this round.
+    """
+    if node.parent is None or node.is_source or not node.online:
+        return False
+    violated = overlay.is_rooted(node) and overlay.delay_at(node) > node.latency
+    if not violated:
+        node.violation_rounds = 0
+        return False
+    node.violation_rounds += 1
+    if node.violation_rounds <= maintenance_timeout:
+        return False
+    # Walk the (locally known, §2.1.3) upstream chain to the deepest
+    # ancestor shallow enough to satisfy this node, and start the search
+    # there — the iterative "use k as next reference" of Alg. 2, jumped in
+    # one go because the chain is piggy-backed anyway.
+    ancestor = node.parent
+    while (
+        ancestor is not None
+        and not ancestor.is_source
+        and overlay.delay_at(ancestor) >= node.latency
+    ):
+        ancestor = ancestor.parent
+    overlay.detach(node)
+    node.violation_rounds = 0
+    node.rounds_without_parent = 0
+    if ancestor is not None:
+        node.referral = ancestor
+    return True
+
+
+def eager_maintenance(overlay: Overlay, node: Node) -> bool:
+    """The knee-jerk rule the paper argues *against* (§3.2): leave as soon
+    as the latency constraint is violated, even in unrooted fragments.
+
+    Provided as an ablation baseline
+    (``benchmarks/test_ablation_maintenance.py``) to quantify how much the
+    lazy rules buy.
+    """
+    if node.parent is None or node.is_source or not node.online:
+        return False
+    if overlay.delay_at(node) <= node.latency:
+        return False
+    overlay.detach(node)
+    node.rounds_without_parent = 0
+    return True

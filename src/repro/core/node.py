@@ -1,0 +1,129 @@
+"""Overlay node state.
+
+Table 1 of the paper, mapped to code:
+
+==================  ============================================================
+Paper notation      Here
+==================  ============================================================
+``i_f^l``           a :class:`Node` whose :attr:`Node.spec` is ``NodeSpec(l, f)``
+``f_i``             ``node.spec.fanout``
+``l_i``             ``node.spec.latency``
+``Node 0``          the source, ``node.is_source`` / ``Overlay.source``
+``j <- i``          ``j.parent is i`` (*i* is the parent of *j*)
+``Parent(i)``       ``i.parent``
+``Children(i)``     ``i.children``
+``n <-/``           ``n.parent is None`` (parentless)
+``Root(i)``         ``Overlay.fragment_root(i)``
+``DelayAt(i)``      ``Overlay.delay_at(i)``
+==================  ============================================================
+
+A :class:`Node` stores only *local* state: its constraints, its parent and
+children links, whether it is online, and the per-node timers the
+construction and maintenance protocols use (timeout counter, maintenance
+violation timer, the referral received during the last interaction).  All
+chain-level quantities (``Root``, ``DelayAt``) are derived by
+:class:`repro.core.tree.Overlay` by walking the parent links — this mirrors
+the paper's assumption (§2.1.3) that chain metadata is piggy-backed along
+the chain rather than globally maintained.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.constraints import NodeSpec
+
+#: NodeId type alias; the source is always id 0.
+NodeId = int
+
+SOURCE_ID: NodeId = 0
+
+
+@dataclasses.dataclass(eq=False)
+class Node:
+    """One participant of the overlay (the source or a consumer).
+
+    Identity is by object (``eq=False``): two nodes are the same node only
+    if they are the same Python object.  ``node_id`` is unique within one
+    :class:`~repro.core.tree.Overlay`.
+    """
+
+    node_id: NodeId
+    spec: NodeSpec
+    name: str = ""
+
+    # --- tree links -------------------------------------------------------
+    parent: Optional["Node"] = None
+    children: List["Node"] = dataclasses.field(default_factory=list)
+
+    # --- liveness ---------------------------------------------------------
+    online: bool = True
+
+    # --- protocol timers (reset on rejoin) --------------------------------
+    #: Rounds spent parentless since the last timeout reset; drives the
+    #: "contact the source on Timeout" branch of both algorithms.
+    rounds_without_parent: int = 0
+    #: Consecutive rounds the node has observed its latency constraint
+    #: violated while rooted at the source (hybrid maintenance timer).
+    violation_rounds: int = 0
+    #: Partner referred during the last interaction ("use k as next
+    #: reference"); consumed by the next construction step.
+    referral: Optional["Node"] = None
+    #: First round at which the node may act again (asynchronous mode);
+    #: 0 means "free now".
+    busy_until: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = str(self.node_id)
+
+    # --- read-only convenience --------------------------------------------
+
+    @property
+    def is_source(self) -> bool:
+        """Whether this node is the feed source (node 0)."""
+        return self.node_id == SOURCE_ID
+
+    @property
+    def latency(self) -> int:
+        """``l_i`` — shorthand for ``self.spec.latency``."""
+        return self.spec.latency
+
+    @property
+    def fanout(self) -> int:
+        """``f_i`` — shorthand for ``self.spec.fanout``."""
+        return self.spec.fanout
+
+    @property
+    def free_fanout(self) -> int:
+        """Unused fanout: declared fanout minus current number of children."""
+        return self.fanout - len(self.children)
+
+    @property
+    def has_parent(self) -> bool:
+        """Whether the node currently has a parent (``i <- j`` for some j)."""
+        return self.parent is not None
+
+    @property
+    def is_parentless(self) -> bool:
+        """The paper's ``i <-/`` state (never true for the source)."""
+        return not self.is_source and self.parent is None
+
+    def reset_protocol_state(self) -> None:
+        """Clear all protocol timers and referrals (used on churn rejoin)."""
+        self.rounds_without_parent = 0
+        self.violation_rounds = 0
+        self.referral = None
+        self.busy_until = 0
+
+    def label(self) -> str:
+        """Paper notation, e.g. ``a_2^1`` (source renders as ``0_f``)."""
+        if self.is_source:
+            return f"0_{self.fanout}"
+        return self.spec.label(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "online" if self.online else "offline"
+        parent = self.parent.name if self.parent is not None else "-"
+        return f"<Node {self.label()} parent={parent} {state}>"

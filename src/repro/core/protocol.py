@@ -1,0 +1,178 @@
+"""Common machinery of the two LagOver construction protocols.
+
+Both algorithms of §3 share an identical outer loop, executed independently
+by every node that currently has no parent (Alg. 2, but the Greedy
+algorithm's loop is the same):
+
+* on *Timeout* (too many rounds spent parentless), contact the source
+  directly — attach if it has free capacity, otherwise displace a direct
+  child with a laxer latency constraint;
+* otherwise, interact with a partner: the node referred during the last
+  interaction if any, else a node sampled from the Oracle (§2.1.4);
+* if the Oracle finds no suitable partner, wait and try again next round.
+
+What differs is the *bilateral decision rule* applied during an
+interaction, supplied by subclasses via :meth:`ConstructionAlgorithm._interact`,
+and the maintenance rule (:mod:`repro.core.maintenance`).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.interactions import (
+    EdgePolicy,
+    try_attach,
+    try_displace_at_source,
+)
+from repro.core.node import Node
+from repro.core.tree import Overlay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.oracles.base import Oracle
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolConfig:
+    """Tunables of the construction/maintenance protocols (§2.1.1, §3).
+
+    Attributes
+    ----------
+    timeout:
+        Rounds a node remains parentless before contacting the source
+        directly (the ``Timeout`` of Alg. 2).
+    maintenance_timeout:
+        Rounds a node whose latency constraint is violated while rooted at
+        the source waits before discarding its parent (Hybrid maintenance
+        damping, §3.4; ignored by the Greedy rule).  The paper prescribes
+        *a* timeout but not its value; 1 round already suppresses
+        knee-jerk reactions to transient upstream reconfigurations while
+        staying responsive under churn (the timeout ablation bench sweeps
+        this).
+    pull_only_source:
+        Whether the source supports only pulls (§2.1.2, the RSS case — the
+        default) or can push, which changes the Hybrid decision at a
+        source child (Alg. 2 steps 21+).
+    """
+
+    timeout: int = 4
+    maintenance_timeout: int = 1
+    pull_only_source: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout < 1:
+            raise ConfigurationError("timeout must be >= 1 round")
+        if self.maintenance_timeout < 0:
+            raise ConfigurationError("maintenance_timeout must be >= 0")
+
+
+class ConstructionAlgorithm(abc.ABC):
+    """One construction protocol instance bound to an overlay and an oracle.
+
+    Subclasses implement the interaction decision rule and the maintenance
+    rule; the shared timeout/referral/oracle loop lives here.
+    """
+
+    #: Short identifier used in experiment configs and reports.
+    name: str = "abstract"
+
+    #: Edge policy enforced on every consumer-to-consumer edge this
+    #: algorithm creates.
+    edge_ok: EdgePolicy
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        oracle: "Oracle",
+        config: Optional[ProtocolConfig] = None,
+    ) -> None:
+        self.overlay = overlay
+        self.oracle = oracle
+        self.config = config if config is not None else ProtocolConfig()
+
+    # ------------------------------------------------------------------
+    # outer loop, one step of a parentless node
+    # ------------------------------------------------------------------
+
+    def step(self, node: Node) -> None:
+        """Run one construction round for a parentless node.
+
+        Mirrors the ``while i <-/`` loop body of Alg. 2: timeout handling,
+        then a single bilateral interaction with a referred or
+        oracle-provided partner.
+        """
+        if node.is_source or node.parent is not None or not node.online:
+            return
+        node.rounds_without_parent += 1
+        if node.rounds_without_parent > self.config.timeout:
+            node.rounds_without_parent = 0
+            self.contact_source(node)
+            return
+        partner = self._next_partner(node)
+        if partner is None:
+            return  # oracle found no suitable partner; wait and try again
+        if partner.is_source:
+            node.rounds_without_parent = 0
+            self.contact_source(node)
+            return
+        if self.overlay.fragment_root(partner) is node:
+            return  # partner is in the node's own fragment; nothing to do
+        self._interact(node, partner)
+
+    def _next_partner(self, node: Node) -> Optional[Node]:
+        """The partner for this round: last referral if usable, else oracle."""
+        partner = node.referral
+        node.referral = None
+        if partner is not None and partner.online and partner is not node:
+            return partner
+        return self.oracle.sample(node)
+
+    # ------------------------------------------------------------------
+    # interaction at the source (shared by both algorithms)
+    # ------------------------------------------------------------------
+
+    def contact_source(self, node: Node) -> bool:
+        """Timeout branch of Alg. 2 (steps 2-7), identical for Greedy (§3.4:
+        "The interaction of a node at the server is the same as in the case
+        of the greedy algorithm").
+
+        Attach directly if the source has free capacity; otherwise displace
+        the direct child with the laxest latency constraint that is laxer
+        than the contacting node's (``c <- i <- 0``).
+        """
+        source = self.overlay.source
+        if try_attach(self.overlay, node, source, self.edge_ok):
+            return True
+        candidates = [c for c in source.children if c.latency > node.latency]
+        if not candidates:
+            return False
+        victim = max(candidates, key=lambda c: (c.latency, -c.fanout))
+        return try_displace_at_source(
+            self.overlay,
+            node,
+            victim,
+            self.edge_ok,
+            allow_shed=self._shed_allowed(),
+        )
+
+    def _shed_allowed(self) -> bool:
+        """Whether moves may discard a child of the incoming node to make
+        room (Hybrid: yes; Greedy: no)."""
+        return False
+
+    # ------------------------------------------------------------------
+    # to be provided by concrete algorithms
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _interact(self, node: Node, partner: Node) -> None:
+        """Bilateral decision rule for ``node <-> partner`` (both consumers,
+        different fragments, ``node`` parentless)."""
+
+    @abc.abstractmethod
+    def maintain(self, node: Node) -> bool:
+        """Run the maintenance rule at a *parented* node; returns ``True``
+        if the node discarded its parent this round."""

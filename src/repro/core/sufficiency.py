@@ -1,0 +1,192 @@
+"""Existence of a LagOver: the §3.3 sufficiency condition and exact checks.
+
+Let ``N_l`` be the set of consumers with latency constraint ``l`` and let
+``N_0 = {source}``.  The paper's lemma: the constraints of all nodes with
+constraint ``l`` can be met — given those of all stricter nodes are — if ::
+
+    |N_l| <= sum_{p in N_{l-1}} f_p
+             + sum_{l' < l-1} ( sum_{p in N_{l'}} f_p  -  |N_{l'+1}| )
+
+i.e. the capacity offered by the previous latency class plus all unused
+capacity carried over from stricter classes.  Unrolled, this is a simple
+level-by-level pass: slots available at depth ``<= l`` must cover ``N_l``,
+and every placed node contributes its own fanout as new slots one level
+deeper.  :func:`sufficiency_holds` implements exactly that pass.
+
+The condition is sufficient but **not necessary** (§3.3.1): a population
+can violate it yet still admit a valid configuration in which some nodes
+sit *strictly shallower* than their constraint requires, under a
+high-fanout lax node.  :func:`find_feasible_configuration` decides
+feasibility exactly (for small populations) by searching depth
+assignments, and is used to validate the adversarial counter-example.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import ConfigurationError
+from repro.core.node import Node
+from repro.core.tree import Overlay
+
+#: A feasible placement: node index (into the spec sequence) -> depth.
+DepthAssignment = Dict[int, int]
+
+
+def latency_classes(specs: Iterable[NodeSpec]) -> Dict[int, List[NodeSpec]]:
+    """Group specs into the paper's ``N_l`` classes, keyed by ``l``."""
+    classes: Dict[int, List[NodeSpec]] = {}
+    for spec in specs:
+        classes.setdefault(spec.latency, []).append(spec)
+    return classes
+
+
+def sufficiency_holds(source_fanout: int, specs: Sequence[NodeSpec]) -> bool:
+    """Whether the §3.3 sufficient condition holds for this population.
+
+    Performs the unrolled level pass: ``available`` starts as the source's
+    fanout (slots at any depth >= 1); each class ``N_l`` must fit into the
+    slots accumulated so far, and contributes its own fanout as new slots
+    for laxer classes.
+    """
+    if source_fanout < 0:
+        raise ConfigurationError("source fanout must be >= 0")
+    classes = latency_classes(specs)
+    if not classes:
+        return True
+    available = source_fanout
+    for l in range(1, max(classes) + 1):
+        members = classes.get(l, [])
+        if len(members) > available:
+            return False
+        available -= len(members)
+        available += sum(spec.fanout for spec in members)
+    return True
+
+
+def first_violating_latency(
+    source_fanout: int, specs: Sequence[NodeSpec]
+) -> Optional[int]:
+    """The smallest latency class at which the §3.3 condition fails,
+    or ``None`` if the condition holds (used by workload repair)."""
+    classes = latency_classes(specs)
+    if not classes:
+        return None
+    available = source_fanout
+    for l in range(1, max(classes) + 1):
+        members = classes.get(l, [])
+        if len(members) > available:
+            return l
+        available -= len(members)
+        available += sum(spec.fanout for spec in members)
+    return None
+
+
+def max_admissible_class_size(
+    source_fanout: int, specs: Sequence[NodeSpec], latency: int
+) -> int:
+    """Lower bound (per the §3.3 lemma) on how many *additional* nodes with
+    constraint ``latency`` the population could still accommodate."""
+    classes = latency_classes(specs)
+    available = source_fanout
+    for l in range(1, latency + 1):
+        members = classes.get(l, [])
+        available -= len(members)
+        if l < latency:
+            available += sum(spec.fanout for spec in members)
+    return max(0, available)
+
+
+def check_depth_assignment(
+    source_fanout: int, specs: Sequence[NodeSpec], depths: Sequence[int]
+) -> bool:
+    """Whether a depth assignment is realizable as a tree meeting all
+    constraints.
+
+    A depth assignment is realizable iff every node's depth is within
+    ``[1, l_i]`` and, for every depth ``d``, the number of nodes at ``d``
+    does not exceed the total fanout of nodes at ``d - 1`` (depth 0 being
+    the source).  Any such counting-feasible assignment can be turned into
+    an actual tree by matching children to parents arbitrarily, because
+    slots are interchangeable.
+    """
+    if len(depths) != len(specs):
+        raise ConfigurationError("one depth per spec required")
+    for spec, depth in zip(specs, depths):
+        if not 1 <= depth <= spec.latency:
+            return False
+    count_at = Counter(depths)
+    capacity_at = {0: source_fanout}
+    for spec, depth in zip(specs, depths):
+        capacity_at[depth] = capacity_at.get(depth, 0) + spec.fanout
+    for depth, count in count_at.items():
+        if count > capacity_at.get(depth - 1, 0):
+            return False
+    return True
+
+
+def find_feasible_configuration(
+    source_fanout: int,
+    specs: Sequence[NodeSpec],
+    max_nodes: int = 14,
+) -> Optional[DepthAssignment]:
+    """Exact feasibility check by exhaustive search over depth assignments.
+
+    Returns a feasible ``{node_index: depth}`` assignment, or ``None`` if
+    no configuration meets every latency and fanout constraint.  Intended
+    for the small toy populations of §3.3.1; refuses populations larger
+    than ``max_nodes`` (the search space is the product of the latency
+    constraints).
+    """
+    if len(specs) > max_nodes:
+        raise ConfigurationError(
+            f"exact feasibility search limited to {max_nodes} nodes; "
+            f"got {len(specs)} (use sufficiency_holds for large populations)"
+        )
+    search_space = 1
+    for spec in specs:
+        search_space *= spec.latency
+    if search_space > 5_000_000:
+        raise ConfigurationError(
+            f"exact feasibility search space too large ({search_space} "
+            "assignments); use sufficiency_holds for large populations"
+        )
+    depth_ranges = [range(1, spec.latency + 1) for spec in specs]
+    for depths in product(*depth_ranges):
+        if check_depth_assignment(source_fanout, specs, depths):
+            return dict(enumerate(depths))
+    return None
+
+
+def build_configuration(
+    source_fanout: int,
+    specs: Sequence[Tuple[str, NodeSpec]],
+    assignment: DepthAssignment,
+) -> Overlay:
+    """Materialize a depth assignment as an actual :class:`Overlay`.
+
+    Nodes are attached depth by depth, each to an arbitrary parent with
+    free fanout at the previous depth.  Raises if the assignment is not
+    realizable (see :func:`check_depth_assignment`).
+    """
+    overlay = Overlay(source_fanout=source_fanout)
+    nodes = overlay.add_population(specs)
+    by_depth: Dict[int, List[Node]] = {}
+    for index, depth in assignment.items():
+        by_depth.setdefault(depth, []).append(nodes[index])
+    parents_at_prev: List[Node] = [overlay.source]
+    for depth in range(1, max(by_depth, default=0) + 1):
+        placed = by_depth.get(depth, [])
+        slots = [p for p in parents_at_prev for _ in range(p.free_fanout)]
+        if len(placed) > len(slots):
+            raise ConfigurationError(
+                f"assignment not realizable: {len(placed)} nodes at depth "
+                f"{depth} but only {len(slots)} slots"
+            )
+        for child, parent in zip(placed, slots):
+            overlay.attach(child, parent)
+        parents_at_prev = placed
+    return overlay

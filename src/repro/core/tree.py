@@ -1,0 +1,365 @@
+"""The overlay forest and its delay model.
+
+During construction the overlay is a *forest*: the source-rooted
+dissemination tree plus any number of disconnected *fragments* whose roots
+are parentless consumers (the paper's ``n <-/`` state).  :class:`Overlay`
+owns all nodes, performs structurally-checked mutations (attach/detach,
+churn transitions) and derives the chain metadata of §2.1.3.
+
+Delay model
+-----------
+The paper measures delay in overlay hops anchored at the pull period of the
+source's direct children (§2.1.2): a node pulling directly from the source
+at period ``T`` sees information no staler than one unit, and every push
+hop downstream adds one unit.  Hence for a node at ``h`` hops below the
+source, ``DelayAt = h`` (direct children have ``h = 1``).  This matches the
+paper's Fig. 1 walkthrough: in the chain ``c <- b <- a <- 0`` node *a*
+meets ``l_a = 1``, *b* sees delay 2 and *c* delay 3.
+
+For a node in a fragment that is *not* yet rooted at the source, the actual
+delay is undefined; what is locally known (piggy-backed along the chain) is
+the *potential* delay the node would observe if the fragment root attached
+directly to the source: ``depth-in-fragment + 1``.  :meth:`Overlay.delay_at`
+returns the actual delay for rooted nodes and this potential delay for
+unrooted ones; use :meth:`Overlay.is_rooted` to distinguish (the
+maintenance rules additionally require ``Root(i) == 0``, exactly as in the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import (
+    FanoutExceededError,
+    OfflineNodeError,
+    TopologyError,
+    UnknownNodeError,
+)
+from repro.core.node import SOURCE_ID, Node, NodeId
+
+
+class Overlay:
+    """A LagOver overlay-in-construction: the source plus all consumers.
+
+    The class enforces *structural* invariants on every mutation (tree
+    shape, fanout bounds, liveness); it deliberately does **not** enforce
+    latency constraints — satisfying those is the construction algorithms'
+    job, and transient violations are part of normal operation (§3.2).
+    """
+
+    def __init__(self, source_fanout: int, source_name: str = "0") -> None:
+        self._nodes: Dict[NodeId, Node] = {}
+        self._next_id: NodeId = SOURCE_ID + 1
+        self.source = Node(
+            node_id=SOURCE_ID,
+            spec=NodeSpec(latency=1, fanout=source_fanout),
+            name=source_name,
+        )
+        self._nodes[SOURCE_ID] = self.source
+        #: Lifetime counts of structural mutations, for the
+        #: reconfiguration-cost metrics: ``attaches`` and ``detaches``.
+        self.attach_count = 0
+        self.detach_count = 0
+
+    # ------------------------------------------------------------------
+    # population management
+    # ------------------------------------------------------------------
+
+    def add_consumer(self, spec: NodeSpec, name: str = "") -> Node:
+        """Create a new consumer with the given constraints and return it."""
+        node = Node(node_id=self._next_id, spec=spec, name=name)
+        self._nodes[node.node_id] = node
+        self._next_id += 1
+        return node
+
+    def add_population(self, specs: Iterable[Tuple[str, NodeSpec]]) -> List[Node]:
+        """Add many consumers from ``(name, spec)`` pairs (see
+        :func:`repro.core.constraints.parse_population`)."""
+        return [self.add_consumer(spec, name) for name, spec in specs]
+
+    def node(self, node_id: NodeId) -> Node:
+        """Look a node up by id; raises :class:`UnknownNodeError` if absent."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    @property
+    def consumers(self) -> List[Node]:
+        """All consumers (everything except the source), in id order."""
+        return [n for n in self._nodes.values() if not n.is_source]
+
+    @property
+    def online_consumers(self) -> List[Node]:
+        """Consumers currently online, in id order."""
+        return [n for n in self.consumers if n.online]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def __contains__(self, node: Node) -> bool:
+        return self._nodes.get(node.node_id) is node
+
+    # ------------------------------------------------------------------
+    # chain metadata (§2.1.3)
+    # ------------------------------------------------------------------
+
+    def fragment_root(self, node: Node) -> Node:
+        """``Root(i)``: the top of the chain the node currently belongs to.
+
+        Returns the source if the node is connected to it, otherwise the
+        parentless consumer heading the node's fragment (a node with no
+        parent is its own root).
+        """
+        current = node
+        hops = 0
+        while current.parent is not None:
+            current = current.parent
+            hops += 1
+            if hops > len(self._nodes):
+                raise TopologyError(f"cycle detected walking up from {node!r}")
+        return current
+
+    def depth(self, node: Node) -> int:
+        """Number of hops from the node to its fragment root."""
+        current = node
+        hops = 0
+        while current.parent is not None:
+            current = current.parent
+            hops += 1
+            if hops > len(self._nodes):
+                raise TopologyError(f"cycle detected walking up from {node!r}")
+        return hops
+
+    def is_rooted(self, node: Node) -> bool:
+        """Whether ``Root(node)`` is the source (node 0)."""
+        return self.fragment_root(node).is_source
+
+    def delay_at(self, node: Node) -> int:
+        """``DelayAt(i)``: actual delay if rooted, potential delay otherwise.
+
+        The source itself has delay 0.  A rooted node at ``h`` hops below
+        the source observes delay ``h``.  An unrooted node at ``h`` hops
+        below its fragment root would observe ``h + 1`` once that root
+        attaches directly to the source — the optimistic local estimate the
+        construction algorithms plan with.
+        """
+        if node.is_source:
+            return 0
+        root = self.fragment_root(node)
+        hops = self.depth(node)
+        if root.is_source:
+            return hops
+        return hops + 1
+
+    def meets_latency(self, node: Node) -> bool:
+        """Whether the node is rooted at the source within its constraint."""
+        if node.is_source:
+            return True
+        return self.is_rooted(node) and self.delay_at(node) <= node.latency
+
+    def is_converged(self) -> bool:
+        """True when every *online* consumer meets its latency constraint.
+
+        This is the convergence criterion behind the paper's "construction
+        latency" metric; fanout bounds hold by construction (enforced on
+        every attach).
+        """
+        return all(self.meets_latency(n) for n in self.online_consumers)
+
+    def satisfied_fraction(self) -> float:
+        """Fraction of online consumers whose latency constraint is met."""
+        online = self.online_consumers
+        if not online:
+            return 1.0
+        satisfied = sum(1 for n in online if self.meets_latency(n))
+        return satisfied / len(online)
+
+    # ------------------------------------------------------------------
+    # subtree traversal
+    # ------------------------------------------------------------------
+
+    def subtree(self, node: Node) -> Iterator[Node]:
+        """Yield the node and all its descendants, pre-order."""
+        stack = [node]
+        seen = 0
+        while stack:
+            current = stack.pop()
+            seen += 1
+            if seen > len(self._nodes):
+                raise TopologyError(f"cycle detected under {node!r}")
+            yield current
+            stack.extend(reversed(current.children))
+
+    def descendants(self, node: Node) -> Iterator[Node]:
+        """Yield all strict descendants of the node, pre-order."""
+        walker = self.subtree(node)
+        next(walker)  # skip the node itself
+        return walker
+
+    def is_descendant(self, node: Node, ancestor: Node) -> bool:
+        """Whether ``ancestor`` lies on the parent chain of ``node``."""
+        current = node.parent
+        hops = 0
+        while current is not None:
+            if current is ancestor:
+                return True
+            current = current.parent
+            hops += 1
+            if hops > len(self._nodes):
+                raise TopologyError(f"cycle detected walking up from {node!r}")
+        return False
+
+    def fragment_members(self, node: Node) -> List[Node]:
+        """All nodes in the fragment the node belongs to."""
+        return list(self.subtree(self.fragment_root(node)))
+
+    # ------------------------------------------------------------------
+    # checked mutations
+    # ------------------------------------------------------------------
+
+    def attach(self, child: Node, parent: Node) -> None:
+        """Make ``child <- parent`` (``parent`` pushes to ``child``).
+
+        Structural checks only: both online, child currently parentless,
+        no cycle (``parent`` must not be a descendant of ``child``), and
+        ``parent`` must have free fanout.  Latency constraints are *not*
+        checked here — callers use :mod:`repro.core.interactions`.
+        """
+        if child not in self or parent not in self:
+            raise UnknownNodeError("attach with a node foreign to this overlay")
+        if child is parent:
+            raise TopologyError(f"cannot attach {child!r} to itself")
+        if child.is_source:
+            raise TopologyError("the source can never acquire a parent")
+        if not child.online or not parent.online:
+            raise OfflineNodeError(f"attach({child!r}, {parent!r}) with offline node")
+        if child.parent is not None:
+            raise TopologyError(f"{child!r} already has a parent")
+        if parent is child or self.is_descendant(parent, child):
+            raise TopologyError(f"attaching {child!r} under {parent!r} creates a cycle")
+        if parent.free_fanout <= 0:
+            raise FanoutExceededError(
+                f"{parent!r} has no free fanout (f={parent.fanout})"
+            )
+        child.parent = parent
+        parent.children.append(child)
+        self.attach_count += 1
+
+    def detach(self, child: Node) -> Node:
+        """Sever ``child`` from its parent (the paper's ``j -/-> i``).
+
+        Returns the former parent.  The child keeps its own subtree and
+        becomes a fragment root.
+        """
+        parent = child.parent
+        if parent is None:
+            raise TopologyError(f"{child!r} has no parent to leave")
+        parent.children.remove(child)
+        child.parent = None
+        self.detach_count += 1
+        return parent
+
+    # ------------------------------------------------------------------
+    # churn transitions
+    # ------------------------------------------------------------------
+
+    def go_offline(self, node: Node) -> List[Node]:
+        """Take a consumer offline (churn departure).
+
+        The node is severed from its parent; each of its children becomes
+        the parentless root of its own fragment (they keep their subtrees).
+        Returns the orphaned children.
+        """
+        if node.is_source:
+            raise TopologyError("the source never leaves (paper §2.1.2)")
+        if not node.online:
+            raise OfflineNodeError(f"{node!r} is already offline")
+        grandparent = node.parent
+        if node.parent is not None:
+            self.detach(node)
+        orphans = list(node.children)
+        for child in orphans:
+            child.parent = None
+            child.rounds_without_parent = 0
+            # Chain metadata is piggy-backed along the chain (§2.1.3), so
+            # an orphan knows its former grandparent — the natural first
+            # candidate for re-attachment (it just lost a child slot).
+            if grandparent is not None and grandparent.online:
+                child.referral = grandparent
+        node.children.clear()
+        node.online = False
+        node.reset_protocol_state()
+        return orphans
+
+    def go_online(self, node: Node) -> None:
+        """Bring a consumer back online (churn rejoin), with fresh state."""
+        if node.online:
+            raise OfflineNodeError(f"{node!r} is already online")
+        node.online = True
+        node.reset_protocol_state()
+
+    # ------------------------------------------------------------------
+    # integrity and rendering
+    # ------------------------------------------------------------------
+
+    def check_integrity(self) -> None:
+        """Verify all structural invariants; raises on violation.
+
+        Intended for tests and debug runs: parent/child links must be
+        mutually consistent, fanout bounds respected, offline nodes fully
+        disconnected, and the parent relation acyclic.
+        """
+        for node in self._nodes.values():
+            if len(node.children) > node.fanout:
+                raise FanoutExceededError(f"{node!r} exceeds its fanout")
+            if len(set(id(c) for c in node.children)) != len(node.children):
+                raise TopologyError(f"{node!r} has duplicate children")
+            for child in node.children:
+                if child.parent is not node:
+                    raise TopologyError(f"{child!r} not linked back to {node!r}")
+                if not child.online or not node.online:
+                    raise OfflineNodeError(f"offline node on edge {child!r}<-{node!r}")
+            if node.parent is not None and node not in node.parent.children:
+                raise TopologyError(f"{node!r} missing from its parent's children")
+            if not node.online and (node.parent is not None or node.children):
+                raise OfflineNodeError(f"offline {node!r} still has links")
+        for node in self._nodes.values():
+            self.fragment_root(node)  # raises on cycles
+
+    def fragments(self) -> List[Node]:
+        """Roots of all fragments: the source plus parentless online consumers."""
+        return [self.source] + [
+            n for n in self.online_consumers if n.parent is None
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering of the forest, for examples and debugging."""
+        lines: List[str] = []
+        for root in self.fragments():
+            self._render_subtree(root, prefix="", lines=lines)
+        offline = [n.label() for n in self.consumers if not n.online]
+        if offline:
+            lines.append("offline: " + ", ".join(offline))
+        return "\n".join(lines)
+
+    def _render_subtree(self, node: Node, prefix: str, lines: List[str]) -> None:
+        marker = "" if not prefix else "+- "
+        delay = self.delay_at(node)
+        rooted = "" if self.is_rooted(node) else " (unrooted)"
+        lines.append(f"{prefix}{marker}{node.label()} delay={delay}{rooted}")
+        for child in node.children:
+            self._render_subtree(child, prefix + "   ", lines)
+
+    def snapshot(self) -> Dict[NodeId, Optional[NodeId]]:
+        """Parent map ``{node_id: parent_id or None}`` for tracing."""
+        return {
+            n.node_id: (n.parent.node_id if n.parent is not None else None)
+            for n in self._nodes.values()
+            if not n.is_source
+        }

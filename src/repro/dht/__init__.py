@@ -1,0 +1,35 @@
+"""Chord-style DHT substrate: ring, storage, and the feed directory."""
+
+from repro.dht.chord import ChordPeer, ChordRing
+from repro.dht.directory_service import DirectoryRecord, FeedDirectory
+from repro.dht.remote import (
+    LookupClient,
+    LookupResult,
+    measure_lookup_latency,
+    wire_ring,
+)
+from repro.dht.hashspace import (
+    DEFAULT_BITS,
+    clockwise_distance,
+    hash_key,
+    in_interval,
+    ring_size,
+)
+from repro.dht.storage import DhtStore
+
+__all__ = [
+    "DEFAULT_BITS",
+    "ChordPeer",
+    "ChordRing",
+    "DhtStore",
+    "LookupClient",
+    "LookupResult",
+    "DirectoryRecord",
+    "FeedDirectory",
+    "clockwise_distance",
+    "hash_key",
+    "in_interval",
+    "measure_lookup_latency",
+    "ring_size",
+    "wire_ring",
+]

@@ -1,0 +1,70 @@
+"""The per-feed consumer directory, hosted on the DHT.
+
+This is the concrete service the paper's filtered Oracles assume: a
+Syndic8-like directory, run on an OpenDHT-style infrastructure, in which
+consumers of a feed periodically *register* their current state (observed
+delay and free capacity) and enquirers fetch the candidate list to sample
+interaction partners from.
+
+Because registrations refresh only periodically, an enquirer sees a
+*stale* view — a candidate may have filled its fanout or changed depth
+since it last registered.  That staleness is precisely why the protocol
+must re-validate during the interaction itself, and why the paper's
+finding that capacity filtering is counter-productive carries over to the
+distributed realization (see the oracle-realization ablation bench).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.dht.storage import DhtStore
+
+
+@dataclasses.dataclass(frozen=True)
+class DirectoryRecord:
+    """One consumer's registered state for one feed."""
+
+    node_id: int
+    delay: Optional[int]  # observed (potential) delay; None = unknown
+    free_fanout: int
+    registered_at: int  # simulation round of the registration
+
+
+class FeedDirectory:
+    """Register/fetch consumer records for feeds, over a :class:`DhtStore`."""
+
+    def __init__(self, store: DhtStore) -> None:
+        self.store = store
+        self.registrations = 0
+        self.queries = 0
+
+    @staticmethod
+    def _key(feed_id: str) -> str:
+        return f"feed-directory/{feed_id}"
+
+    def register(self, feed_id: str, record: DirectoryRecord) -> None:
+        """Insert or refresh one consumer's record for a feed."""
+        key = self._key(feed_id)
+        table: Dict[int, DirectoryRecord] = self.store.get(key) or {}
+        table = dict(table)
+        table[record.node_id] = record
+        self.store.put(key, table)
+        self.registrations += 1
+
+    def deregister(self, feed_id: str, node_id: int) -> None:
+        """Remove a consumer's record (graceful departure)."""
+        key = self._key(feed_id)
+        table = self.store.get(key)
+        if not table or node_id not in table:
+            return
+        table = dict(table)
+        del table[node_id]
+        self.store.put(key, table)
+
+    def records(self, feed_id: str) -> List[DirectoryRecord]:
+        """All current records for a feed (order unspecified)."""
+        self.queries += 1
+        table = self.store.get(self._key(feed_id)) or {}
+        return list(table.values())

@@ -1,0 +1,63 @@
+"""The circular identifier space of the DHT substrate.
+
+Identifiers live on a ring modulo ``2**bits``; keys and node names are
+mapped onto it with SHA-1 (as in Chord).  The only subtle operation is
+circular interval membership, used both by routing (finger selection) and
+by key ownership (successor test).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import ConfigurationError
+
+#: Default identifier width.  Plenty for the in-process populations used
+#: here while keeping printed ids readable.
+DEFAULT_BITS = 32
+
+
+def ring_size(bits: int = DEFAULT_BITS) -> int:
+    """Number of points on the identifier ring."""
+    if bits < 1:
+        raise ConfigurationError("identifier space needs >= 1 bit")
+    return 1 << bits
+
+
+def hash_key(key: object, bits: int = DEFAULT_BITS) -> int:
+    """Map an arbitrary key onto the ring (SHA-1, truncated)."""
+    digest = hashlib.sha1(repr(key).encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") % ring_size(bits)
+
+
+def in_interval(
+    point: int,
+    left: int,
+    right: int,
+    inclusive_right: bool = False,
+    bits: int = DEFAULT_BITS,
+) -> bool:
+    """Whether ``point`` lies in the circular interval ``(left, right)``.
+
+    The interval is open on the left; ``inclusive_right`` closes the right
+    end (the successor test ``key in (n, successor]``).  A degenerate
+    interval with ``left == right`` denotes the whole ring (minus the left
+    point), matching Chord's conventions for single-node rings.
+    """
+    size = ring_size(bits)
+    point, left, right = point % size, left % size, right % size
+    if left == right:
+        return inclusive_right and point == right or point != left
+    if left < right:
+        inside = left < point < right
+    else:  # wraps around zero
+        inside = point > left or point < right
+    if inclusive_right and point == right:
+        return True
+    return inside
+
+
+def clockwise_distance(start: int, end: int, bits: int = DEFAULT_BITS) -> int:
+    """Clockwise distance from ``start`` to ``end`` on the ring."""
+    size = ring_size(bits)
+    return (end - start) % size

@@ -1,0 +1,194 @@
+"""Message-level DHT lookups over the simulated network.
+
+:class:`~repro.dht.chord.ChordRing` resolves lookups synchronously and
+counts hops; this module replays the same routing as actual
+request/reply message exchanges over a
+:class:`~repro.network.transport.Network`, so lookup cost can be
+measured in *time* under a latency model (and under message loss), not
+just in hops.  This is the fidelity layer for the oracle-cost question:
+what does a directory query actually cost a consumer, end to end?
+
+Protocol (iterative Chord lookup, as deployed systems do it):
+
+1. the client sends ``dht.next_hop(key)`` to its entry peer;
+2. the peer answers with its closest-preceding finger for the key (or
+   "done" when the key lies between it and its successor);
+3. the client repeats towards the returned hop until done.
+
+Each exchange is one request plus one reply over the network; timeouts
+retry through the same entry peer (lossy-network support).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.dht.chord import ChordPeer, ChordRing
+from repro.dht.hashspace import in_interval
+from repro.network.message import Message
+from repro.network.transport import Network
+from repro.sim.engine import EventScheduler
+
+
+@dataclasses.dataclass
+class LookupResult:
+    """Outcome of one message-level lookup."""
+
+    key: int
+    owner: Optional[str]
+    hops: int
+    started_at: float
+    finished_at: Optional[float]
+    retries: int = 0
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class PeerEndpoint:
+    """Network endpoint wrapping one ring peer's routing logic."""
+
+    def __init__(self, peer: ChordPeer, network: Network) -> None:
+        self.peer = peer
+        self.network = network
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind != "dht.next_hop":
+            return
+        key = message.payload["key"]
+        peer = self.peer
+        if in_interval(
+            key, peer.ident, peer.successor.ident, inclusive_right=True,
+            bits=peer.bits,
+        ):
+            reply = {"done": True, "owner": peer.successor.name, "key": key}
+        else:
+            nxt = peer.closest_preceding_finger(key)
+            if nxt is peer:
+                reply = {"done": True, "owner": peer.successor.name, "key": key}
+            else:
+                reply = {"done": False, "next": nxt.name, "key": key}
+        self.network.send(
+            self.peer.name, message.sender, message.reply_kind(), reply
+        )
+
+
+class LookupClient:
+    """An iterative lookup client at a network address."""
+
+    def __init__(
+        self,
+        address: str,
+        ring: ChordRing,
+        network: Network,
+        scheduler: EventScheduler,
+        retry_timeout: float = 10.0,
+        max_retries: int = 3,
+    ) -> None:
+        if retry_timeout <= 0:
+            raise ConfigurationError("retry_timeout must be > 0")
+        self.address = address
+        self.ring = ring
+        self.network = network
+        self.scheduler = scheduler
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
+        self._pending: Dict[int, LookupResult] = {}
+        self._current_target: Dict[int, str] = {}
+        self._retry_handles: Dict[int, object] = {}
+        self.completed: List[LookupResult] = []
+        network.register(address, self)
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: int, entry_peer: Optional[str] = None) -> LookupResult:
+        """Start a lookup; the result object fills in asynchronously."""
+        if not len(self.ring):
+            raise ConfigurationError("lookup on an empty ring")
+        entry = entry_peer or self.ring.peers[0].name
+        result = LookupResult(
+            key=key,
+            owner=None,
+            hops=0,
+            started_at=self.scheduler.now,
+            finished_at=None,
+        )
+        self._pending[key] = result
+        self._ask(key, entry)
+        return result
+
+    def _ask(self, key: int, target: str) -> None:
+        self._current_target[key] = target
+        self.network.send(self.address, target, "dht.next_hop", {"key": key})
+        handle = self.scheduler.schedule(
+            self.retry_timeout, self._maybe_retry, key
+        )
+        self._retry_handles[key] = handle
+
+    def _maybe_retry(self, key: int) -> None:
+        result = self._pending.get(key)
+        if result is None:
+            return
+        if result.retries >= self.max_retries:
+            del self._pending[key]  # lookup failed (network too lossy)
+            self.completed.append(result)
+            return
+        result.retries += 1
+        self._ask(key, self._current_target[key])
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind != "dht.next_hop.reply":
+            return
+        key = message.payload["key"]
+        result = self._pending.get(key)
+        if result is None:
+            return  # stale reply for a finished/failed lookup
+        handle = self._retry_handles.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+        if message.payload["done"]:
+            result.owner = message.payload["owner"]
+            result.finished_at = self.scheduler.now
+            del self._pending[key]
+            self.completed.append(result)
+            return
+        result.hops += 1
+        self._ask(key, message.payload["next"])
+
+
+def wire_ring(ring: ChordRing, network: Network) -> None:
+    """Register every ring peer as a network endpoint."""
+    for peer in ring.peers:
+        network.register(peer.name, PeerEndpoint(peer, network))
+
+
+def measure_lookup_latency(
+    ring: ChordRing,
+    network: Network,
+    scheduler: EventScheduler,
+    keys: List[int],
+    client_address: str = "client",
+) -> List[LookupResult]:
+    """Run lookups for all keys and return the completed results.
+
+    Also validates each result against the synchronous router: the owner
+    found over the network must be the true owner.
+    """
+    wire_ring(ring, network)
+    client = LookupClient(client_address, ring, network, scheduler)
+    for key in keys:
+        client.lookup(key)
+    scheduler.run()
+    for result in client.completed:
+        if result.owner is not None:
+            truth, _ = ring.find_successor(result.key)
+            if truth.name != result.owner:
+                raise ConfigurationError(
+                    f"network lookup disagreed with router for key {result.key}"
+                )
+    return client.completed

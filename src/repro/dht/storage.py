@@ -1,0 +1,83 @@
+"""Replicated key-value storage over the Chord ring.
+
+Values are stored at the key's owner and replicated on the next
+``replication - 1`` successors, so the store survives the loss of any
+``replication - 1`` consecutive ring peers.  ``put``/``get`` route via
+real Chord lookups (their hop counts land in the ring's statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.dht.chord import ChordPeer, ChordRing
+from repro.dht.hashspace import hash_key
+
+
+class DhtStore:
+    """A minimal OpenDHT-style put/get service over a :class:`ChordRing`."""
+
+    def __init__(self, ring: ChordRing, replication: int = 2) -> None:
+        if replication < 1:
+            raise ConfigurationError("replication must be >= 1")
+        self.ring = ring
+        self.replication = replication
+        #: Per-peer local buckets: peer name -> {key: value}.
+        self._buckets: Dict[str, Dict[Any, Any]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _replica_peers(self, key: Any) -> List[ChordPeer]:
+        owner, _ = self.ring.find_successor(hash_key(key, self.ring.bits))
+        replicas = [owner]
+        cursor = owner
+        while len(replicas) < min(self.replication, len(self.ring)):
+            cursor = cursor.successor
+            if cursor in replicas:
+                break
+            replicas.append(cursor)
+        return replicas
+
+    def put(self, key: Any, value: Any) -> int:
+        """Store (replacing) a value; returns how many replicas hold it."""
+        replicas = self._replica_peers(key)
+        for peer in replicas:
+            self._buckets.setdefault(peer.name, {})[key] = value
+        return len(replicas)
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Fetch a value from the owner, falling back to replicas."""
+        for peer in self._replica_peers(key):
+            bucket = self._buckets.get(peer.name)
+            if bucket is not None and key in bucket:
+                return bucket[key]
+        return None
+
+    def delete(self, key: Any) -> None:
+        """Remove a value from every live replica."""
+        for peer in self._replica_peers(key):
+            bucket = self._buckets.get(peer.name)
+            if bucket is not None:
+                bucket.pop(key, None)
+
+    # ------------------------------------------------------------------
+
+    def forget_peer(self, name: str) -> None:
+        """Drop a departed peer's bucket (call alongside ring removal)."""
+        self._buckets.pop(name, None)
+
+    def repair(self) -> None:
+        """Re-replicate every stored key after membership changes."""
+        keys = {
+            key for bucket in self._buckets.values() for key in bucket
+        }
+        snapshot = {}
+        for key in keys:
+            for bucket in self._buckets.values():
+                if key in bucket:
+                    snapshot[key] = bucket[key]
+                    break
+        self._buckets.clear()
+        for key, value in snapshot.items():
+            self.put(key, value)

@@ -1,0 +1,19 @@
+"""Runnable reproductions of the paper's evaluation (one module per figure).
+
+Each module exposes ``run(...)`` returning plain data and a ``main()``
+that prints the table; ``python -m repro.experiments.<name>`` runs full
+scale.  The pytest-benchmark harness in ``benchmarks/`` runs the same
+code at the QUICK profile and asserts the qualitative shapes.
+"""
+
+from repro.experiments.config import FIG2_REPEATS, PAPER, QUICK, ExperimentProfile
+from repro.experiments.runner import run_repeats, run_single
+
+__all__ = [
+    "FIG2_REPEATS",
+    "PAPER",
+    "QUICK",
+    "ExperimentProfile",
+    "run_repeats",
+    "run_single",
+]

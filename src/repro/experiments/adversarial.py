@@ -1,0 +1,90 @@
+"""The §3.3.1 adversarial counter-example, as a runnable experiment.
+
+Reports (a) that the sufficiency condition fails while an exact feasible
+configuration exists, (b) Greedy's convergence rate (provably 0) and
+(c) Hybrid's convergence rate over many seeds — the paper's claim is
+flexibility, not certainty.
+
+Run: ``python -m repro.experiments.adversarial``
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.core.sufficiency import find_feasible_configuration
+from repro.experiments.config import PAPER, ExperimentProfile
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.workloads.adversarial import (
+    ADVERSARIAL_SOURCE_FANOUT,
+    adversarial_workload,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdversarialOutcome:
+    feasible: bool
+    sufficiency: bool
+    greedy_converged: int
+    hybrid_converged: int
+    seeds: int
+    hybrid_rounds: List[Optional[int]]
+
+
+def run(seeds: int = 20, max_rounds: int = 2000) -> AdversarialOutcome:
+    workload = adversarial_workload()
+    assignment = find_feasible_configuration(
+        ADVERSARIAL_SOURCE_FANOUT, workload.specs
+    )
+    results = {}
+    for algorithm in ("greedy", "hybrid"):
+        results[algorithm] = [
+            run_simulation(
+                workload,
+                SimulationConfig(
+                    algorithm=algorithm, seed=seed, max_rounds=max_rounds
+                ),
+            )
+            for seed in range(seeds)
+        ]
+    return AdversarialOutcome(
+        feasible=assignment is not None,
+        sufficiency=workload.satisfies_sufficiency(),
+        greedy_converged=sum(r.converged for r in results["greedy"]),
+        hybrid_converged=sum(r.converged for r in results["hybrid"]),
+        seeds=seeds,
+        hybrid_rounds=[
+            r.construction_rounds for r in results["hybrid"] if r.converged
+        ],
+    )
+
+
+def main(profile: ExperimentProfile = PAPER) -> None:
+    print(banner("Adversarial counter-example (§3.3.1, repaired)"))
+    outcome = run()
+    rows = [
+        ["feasible configuration exists", outcome.feasible],
+        ["sufficiency condition holds", outcome.sufficiency],
+        [
+            "greedy convergence rate",
+            f"{outcome.greedy_converged}/{outcome.seeds}",
+        ],
+        [
+            "hybrid convergence rate",
+            f"{outcome.hybrid_converged}/{outcome.seeds}",
+        ],
+        [
+            "hybrid rounds when converged",
+            ", ".join(str(r) for r in outcome.hybrid_rounds) or "-",
+        ],
+    ]
+    print(ascii_table(["measure", "value"], rows))
+    print(
+        "\nShape check: feasible yet insufficient; greedy 0/N; hybrid > 0/N."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Experiment profiles: paper-scale and bench-scale parameters.
+
+The paper's §5 experiments use 120 peers and the repeat-5-take-median
+protocol.  Full-scale runs (minutes) are what ``python -m
+repro.experiments.<figure>`` executes and what EXPERIMENTS.md records;
+the pytest-benchmark harness uses the ``QUICK`` profile so the whole
+bench suite stays interactive while preserving every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentProfile:
+    """Scale parameters shared by all experiments."""
+
+    name: str
+    population: int
+    repeats: int
+    max_rounds: int
+    base_seed: int = 0
+
+    def seeds(self):
+        """The run seeds of this profile."""
+        return range(self.base_seed, self.base_seed + self.repeats)
+
+
+#: The paper's scale: 120 peers, 5 repeats (§5.1-§5.3).
+PAPER = ExperimentProfile(name="paper", population=120, repeats=5, max_rounds=8000)
+
+#: Bench scale: same shapes, interactive runtimes.
+QUICK = ExperimentProfile(name="quick", population=40, repeats=3, max_rounds=2500)
+
+#: Fig. 2 repeats more (it *is* a variance study).
+FIG2_REPEATS = 20

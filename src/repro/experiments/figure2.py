@@ -1,0 +1,90 @@
+"""Figure 2 — variation in convergence of the Greedy algorithm.
+
+Paper: "For the same workload (topological constraint, peer population
+and choice of oracle), each variant of the LagOver construction algorithm
+has a high variation in the time required to converge.  This is shown
+... for the execution of the Greedy algorithm using Oracle Random-Delay
+for various workloads."  The consequence is the repeat-5-take-median
+protocol used by every other experiment.
+
+We replay one fixed workload draw per family across many seeds (so the
+only randomness is the protocol's own interaction order and oracle
+choices) and report the per-family spread of construction latency.
+
+Run full scale: ``python -m repro.experiments.figure2``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.analysis.stats import Summary, summarize
+from repro.experiments.config import FIG2_REPEATS, PAPER, ExperimentProfile
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.workloads import PAPER_FAMILIES, make as make_workload
+
+#: The Fig. 2 setting.
+ALGORITHM = "greedy"
+ORACLE = "random-delay"
+
+
+def run(
+    profile: ExperimentProfile = PAPER,
+    repeats: int = FIG2_REPEATS,
+    families: Sequence[str] = PAPER_FAMILIES,
+) -> Dict[str, Summary]:
+    """Per-family spread of construction latency over ``repeats`` seeds."""
+    summaries: Dict[str, Summary] = {}
+    for family in families:
+        workload = make_workload(
+            family, size=profile.population, seed=profile.base_seed
+        )
+        latencies: List[float] = []
+        for offset in range(repeats):
+            result = run_simulation(
+                workload,
+                SimulationConfig(
+                    algorithm=ALGORITHM,
+                    oracle=ORACLE,
+                    seed=profile.base_seed + offset,
+                    max_rounds=profile.max_rounds,
+                ),
+            )
+            if result.construction_rounds is not None:
+                latencies.append(float(result.construction_rounds))
+        summaries[family] = summarize(latencies)
+    return summaries
+
+
+def rows(summaries: Dict[str, Summary]) -> List[List[object]]:
+    return [
+        [
+            family,
+            summary.n,
+            summary.minimum,
+            summary.p25,
+            summary.median,
+            summary.p75,
+            summary.maximum,
+            summary.spread_ratio,
+        ]
+        for family, summary in summaries.items()
+    ]
+
+
+HEADERS = ["workload", "runs", "min", "p25", "median", "p75", "max", "max/min"]
+
+
+def main() -> None:
+    print(banner("Figure 2: convergence variation, Greedy + Oracle Random-Delay"))
+    summaries = run()
+    print(ascii_table(HEADERS, rows(summaries)))
+    print(
+        "\nShape check: a large max/min spread for a fixed setting is what "
+        "motivates the paper's repeat-5-take-median protocol."
+    )
+
+
+if __name__ == "__main__":
+    main()

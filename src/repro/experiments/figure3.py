@@ -1,0 +1,88 @@
+"""Figure 3 — impact of the Oracle on (Greedy) construction latency.
+
+Paper setting: 120 peers, the four topological constraints (Tf1, Rand,
+BiCorr, BiUnCorr), no churn, Greedy construction under each of the four
+Oracles; 5 repeats, median.  Expected shape (§5.2):
+
+* Oracle *Random-Delay* (O3) has the best performance in many settings
+  and good performance overall;
+* Oracle *Random* (O1) always converges but more slowly;
+* Oracles *Random-Capacity* (O2a) and *Random-Delay-Capacity* (O2b)
+  "often not only take long time, but sometimes simply do not converge"
+  — the capacity filter suppresses exactly the interactions that enable
+  reconfigurations.
+
+Run full scale: ``python -m repro.experiments.figure3``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import ascii_table, banner
+from repro.analysis.stats import MedianOfRuns
+from repro.experiments.config import PAPER, ExperimentProfile
+from repro.experiments.runner import run_repeats
+from repro.oracles.base import ORACLES, oracle_names
+from repro.sim.runner import SimulationConfig
+from repro.workloads import PAPER_FAMILIES
+
+GridKey = Tuple[str, str]  # (family, oracle)
+
+
+def run(
+    profile: ExperimentProfile = PAPER,
+    algorithm: str = "greedy",
+    families: Sequence[str] = PAPER_FAMILIES,
+    oracles: Sequence[str] = tuple(oracle_names()),
+) -> Dict[GridKey, MedianOfRuns]:
+    """The full (family x oracle) grid of median construction latencies."""
+    grid: Dict[GridKey, MedianOfRuns] = {}
+    for family in families:
+        for oracle in oracles:
+            grid[(family, oracle)] = run_repeats(
+                family,
+                SimulationConfig(
+                    algorithm=algorithm,
+                    oracle=oracle,
+                    max_rounds=profile.max_rounds,
+                ),
+                population=profile.population,
+                repeats=profile.repeats,
+                base_seed=profile.base_seed,
+            )
+    return grid
+
+
+def rows(
+    grid: Dict[GridKey, MedianOfRuns],
+    families: Sequence[str] = PAPER_FAMILIES,
+    oracles: Sequence[str] = tuple(oracle_names()),
+) -> List[List[object]]:
+    table = []
+    for family in families:
+        row: List[object] = [family]
+        for oracle in oracles:
+            row.append(grid[(family, oracle)].render())
+        table.append(row)
+    return table
+
+
+def headers(oracles: Sequence[str] = tuple(oracle_names())) -> List[str]:
+    return ["workload"] + [
+        f"{ORACLES[name].figure_label} {name}" for name in oracles
+    ]
+
+
+def main() -> None:
+    print(banner("Figure 3: Greedy construction latency per Oracle (median of 5)"))
+    grid = run()
+    print(ascii_table(headers(), rows(grid)))
+    print(
+        "\nShape check: O3 best overall; O1 converges but slower; "
+        "O2a/O2b slow or stuck."
+    )
+
+
+if __name__ == "__main__":
+    main()

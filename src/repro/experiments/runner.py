@@ -1,0 +1,45 @@
+"""Shared execution helpers for the figure experiments."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.stats import MedianOfRuns
+from repro.sim.runner import SimulationConfig, SimulationResult, run_simulation
+from repro.workloads import make as make_workload
+
+
+def run_repeats(
+    family: str,
+    config: SimulationConfig,
+    population: int,
+    repeats: int,
+    base_seed: int = 0,
+    vary_workload: bool = True,
+) -> MedianOfRuns:
+    """Run ``repeats`` constructions and collect construction latencies.
+
+    Each repeat uses its own root seed; with ``vary_workload`` the
+    workload draw varies with the seed too (representing the *family*),
+    otherwise one fixed draw is replayed (isolating protocol randomness,
+    as in Fig. 2).
+    """
+    values: List[Optional[int]] = []
+    for offset in range(repeats):
+        seed = base_seed + offset
+        workload_seed = seed if vary_workload else base_seed
+        workload = make_workload(family, size=population, seed=workload_seed)
+        result = run_simulation(workload, config.with_(seed=seed))
+        values.append(result.construction_rounds if result.converged else None)
+    return MedianOfRuns(values=values)
+
+
+def run_single(
+    family: str,
+    config: SimulationConfig,
+    population: int,
+    seed: int = 0,
+) -> SimulationResult:
+    """One construction run of a family (workload seed = run seed)."""
+    workload = make_workload(family, size=population, seed=seed)
+    return run_simulation(workload, config.with_(seed=seed))

@@ -1,0 +1,36 @@
+"""RSS-style feed substrate: pull-only source, dissemination, staleness."""
+
+from repro.feeds.client import Arrival, FeedConsumer
+from repro.feeds.dissemination import LagOverDissemination, disseminate
+from repro.feeds.items import FeedItem
+from repro.feeds.live import (
+    LiveDeliveryReport,
+    LiveFeedSystem,
+    live_delivery,
+)
+from repro.feeds.rss import parse_rss, render_rss
+from repro.feeds.source import FeedSource, periodic, poisson
+from repro.feeds.staleness import (
+    ConsumerStaleness,
+    StalenessReport,
+    build_report,
+)
+
+__all__ = [
+    "Arrival",
+    "ConsumerStaleness",
+    "FeedConsumer",
+    "FeedItem",
+    "FeedSource",
+    "LagOverDissemination",
+    "LiveDeliveryReport",
+    "LiveFeedSystem",
+    "StalenessReport",
+    "build_report",
+    "disseminate",
+    "live_delivery",
+    "parse_rss",
+    "periodic",
+    "poisson",
+    "render_rss",
+]

@@ -1,0 +1,64 @@
+"""Consumer-side feed state.
+
+Each overlay consumer runs a :class:`FeedConsumer`: it records which items
+have arrived and when, regardless of whether they came from a direct pull
+at the source or a push from the overlay parent.  The dissemination engine
+(:mod:`repro.feeds.dissemination`) drives delivery; this class is pure
+bookkeeping, which is what makes the staleness reports easy to audit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.feeds.items import FeedItem
+
+
+@dataclasses.dataclass
+class Arrival:
+    """One item's delivery at one consumer."""
+
+    item: FeedItem
+    arrived_at: float
+
+    @property
+    def staleness(self) -> float:
+        """Item age on arrival, in feed time units."""
+        return self.arrived_at - self.item.published_at
+
+
+class FeedConsumer:
+    """Per-consumer delivery log and cursor."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.last_seen_seq = 0
+        self.arrivals: Dict[int, Arrival] = {}
+
+    def deliver(self, items: List[FeedItem], now: float) -> List[FeedItem]:
+        """Record newly arriving items; returns those actually new here."""
+        fresh = []
+        for item in items:
+            if item.seq in self.arrivals:
+                continue
+            self.arrivals[item.seq] = Arrival(item=item, arrived_at=now)
+            fresh.append(item)
+        if fresh:
+            self.last_seen_seq = max(self.last_seen_seq, fresh[-1].seq)
+        return fresh
+
+    def staleness_values(self) -> List[float]:
+        """Staleness of every delivered item, in arrival order."""
+        return [
+            arrival.staleness
+            for _, arrival in sorted(self.arrivals.items())
+        ]
+
+    def worst_staleness(self) -> float:
+        """Worst item age on arrival (0.0 if nothing arrived)."""
+        values = self.staleness_values()
+        return max(values) if values else 0.0
+
+    def received_count(self) -> int:
+        return len(self.arrivals)

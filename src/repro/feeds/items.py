@@ -1,0 +1,31 @@
+"""Feed content model.
+
+A feed is an ordered stream of small items (the paper's RSS/Atom
+"micronews"; §6 contrasts this with BitTorrent-style bulk distribution).
+Items carry a sequence number — consumers track the highest sequence seen,
+which is all the pull/push protocol needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class FeedItem:
+    """One feed entry.
+
+    ``published_at`` is simulation time (the feed clock, measured in pull
+    periods ``T``); ``size_bytes`` models the growing media payloads the
+    paper worries about ("RSS ... increasingly being used to disseminate
+    content, including multi-media content").
+    """
+
+    seq: int
+    title: str
+    published_at: float
+    size_bytes: int = 512
+
+    def age_at(self, now: float) -> float:
+        """Staleness of this item at time ``now``."""
+        return now - self.published_at

@@ -1,0 +1,71 @@
+"""Minimal RSS 2.0 rendering and parsing.
+
+The motivating application is RSS feed aggregation, and LagOver is
+explicitly *non-intrusive*: the source keeps serving plain RSS, only the
+clients change (§1).  To keep the examples honest end-to-end, the feed
+source can render its state as an RSS 2.0 document and clients can parse
+one back — round-tripping through the actual wire format instead of
+passing Python objects around.
+
+Only the elements the examples need are supported (``channel`` metadata
+and ``item`` title/guid/pubDate); this is deliberately not a
+general-purpose feed parser.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List
+
+from repro.core.errors import ConfigurationError
+from repro.feeds.items import FeedItem
+
+
+def render_rss(
+    feed_id: str,
+    items: List[FeedItem],
+    title: str = "",
+    link: str = "http://example.invalid/feed",
+    description: str = "A LagOver-disseminated feed",
+) -> str:
+    """Render items as an RSS 2.0 document (newest first, as aggregators
+    expect)."""
+    rss = ET.Element("rss", version="2.0")
+    channel = ET.SubElement(rss, "channel")
+    ET.SubElement(channel, "title").text = title or feed_id
+    ET.SubElement(channel, "link").text = link
+    ET.SubElement(channel, "description").text = description
+    for item in sorted(items, key=lambda i: i.seq, reverse=True):
+        element = ET.SubElement(channel, "item")
+        ET.SubElement(element, "title").text = item.title
+        ET.SubElement(element, "guid").text = f"{feed_id}/{item.seq}"
+        # pubDate carries the simulation timestamp; real deployments would
+        # format RFC 822 dates, irrelevant to the simulation.
+        ET.SubElement(element, "pubDate").text = repr(item.published_at)
+    return ET.tostring(rss, encoding="unicode")
+
+
+def parse_rss(document: str) -> List[FeedItem]:
+    """Parse a document produced by :func:`render_rss` back into items."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as error:
+        raise ConfigurationError(f"not a parseable RSS document: {error}")
+    if root.tag != "rss":
+        raise ConfigurationError(f"expected <rss> root, got <{root.tag}>")
+    channel = root.find("channel")
+    if channel is None:
+        raise ConfigurationError("RSS document has no <channel>")
+    items: List[FeedItem] = []
+    for element in channel.findall("item"):
+        guid = element.findtext("guid", default="")
+        title = element.findtext("title", default="")
+        published = element.findtext("pubDate", default="0.0")
+        try:
+            seq = int(guid.rsplit("/", 1)[-1])
+        except ValueError:
+            raise ConfigurationError(f"malformed guid {guid!r}")
+        items.append(
+            FeedItem(seq=seq, title=title, published_at=float(published))
+        )
+    return sorted(items, key=lambda i: i.seq)

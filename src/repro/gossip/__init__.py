@@ -1,0 +1,12 @@
+"""Unstructured gossip substrate: partial views and random walkers."""
+
+from repro.gossip.membership import MembershipViews
+from repro.gossip.random_walk import DEFAULT_WALK_LENGTH, RandomWalkSampler
+from repro.gossip.unstructured import UnstructuredOverlay
+
+__all__ = [
+    "DEFAULT_WALK_LENGTH",
+    "MembershipViews",
+    "RandomWalkSampler",
+    "UnstructuredOverlay",
+]

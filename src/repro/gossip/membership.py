@@ -1,0 +1,103 @@
+"""Partial membership views for the unstructured overlay.
+
+Each consumer keeps a small *view* — a cache of other consumers — and
+periodically shuffles it with a random view member, the Cyclon-style
+exchange used by unstructured P2P systems.  The views are what the random
+walkers of :mod:`repro.gossip.random_walk` traverse: together they realize
+the paper's Oracle *Random* "using random walkers ... if nodes participate
+in an unstructured network" without any global knowledge.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Sequence, Set
+
+from repro.core.errors import ConfigurationError
+
+
+class MembershipViews:
+    """Per-node partial views plus the shuffle protocol."""
+
+    def __init__(self, view_size: int, rng: random.Random) -> None:
+        if view_size < 1:
+            raise ConfigurationError("view_size must be >= 1")
+        self.view_size = view_size
+        self.rng = rng
+        self._views: Dict[Hashable, Set[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, members: Sequence[Hashable]) -> None:
+        """Give every member an initial random view (excluding itself)."""
+        members = list(members)
+        for member in members:
+            others = [m for m in members if m != member]
+            size = min(self.view_size, len(others))
+            self._views[member] = set(self.rng.sample(others, size))
+
+    def add_member(self, member: Hashable) -> None:
+        """Introduce a member, seeding its view from existing members."""
+        others = [m for m in self._views if m != member]
+        size = min(self.view_size, len(others))
+        self._views[member] = set(self.rng.sample(others, size)) if size else set()
+        # Make the newcomer reachable: inject it into a few views.
+        for other in self.rng.sample(others, min(3, len(others))):
+            self._insert(other, member)
+
+    def remove_member(self, member: Hashable) -> None:
+        """Forget a departed member everywhere (lazy in real systems;
+        eager here to keep the walkers' failure model simple)."""
+        self._views.pop(member, None)
+        for view in self._views.values():
+            view.discard(member)
+
+    def view(self, member: Hashable) -> List[Hashable]:
+        """A copy of the member's current view."""
+        return sorted(self._views.get(member, ()), key=repr)
+
+    def members(self) -> List[Hashable]:
+        return sorted(self._views, key=repr)
+
+    def _insert(self, member: Hashable, entry: Hashable) -> None:
+        view = self._views[member]
+        view.add(entry)
+        while len(view) > self.view_size:
+            view.remove(self.rng.choice(sorted(view, key=repr)))
+
+    # ------------------------------------------------------------------
+
+    def shuffle_round(self) -> None:
+        """One gossip round: every member trades view halves with a random
+        neighbour (both keep each other afterwards, Cyclon-style)."""
+        for member in list(self._views):
+            view = self._views.get(member)
+            if not view:
+                continue
+            partner = self.rng.choice(sorted(view, key=repr))
+            if partner not in self._views:
+                view.discard(partner)  # stale entry for a departed node
+                continue
+            self._exchange(member, partner)
+
+    def _exchange(self, a: Hashable, b: Hashable) -> None:
+        half = max(1, self.view_size // 2)
+        view_a, view_b = self._views[a], self._views[b]
+        offer_a = set(
+            self.rng.sample(sorted(view_a, key=repr), min(half, len(view_a)))
+        )
+        offer_b = set(
+            self.rng.sample(sorted(view_b, key=repr), min(half, len(view_b)))
+        )
+        # Iterate in a stable order: set order varies with the interpreter
+        # hash seed and would consume the RNG stream nondeterministically.
+        for entry in sorted(offer_a, key=repr):
+            if entry != b:
+                self._insert(b, entry)
+        for entry in sorted(offer_b, key=repr):
+            if entry != a:
+                self._insert(a, entry)
+        self._insert(a, b)
+        self._insert(b, a)
+        view_a.discard(a)
+        view_b.discard(b)

@@ -1,0 +1,56 @@
+"""Random walkers over the membership views.
+
+A walker starts at the enquirer and takes ``length`` uniform steps over
+the current views; the node it lands on is the sample.  Sufficiently long
+walks over a well-mixed view graph approximate uniform sampling of the
+live population — the distributed realization of Oracle *Random*.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.gossip.membership import MembershipViews
+
+#: Default walk length; views of size ~8 mix well within this many steps.
+DEFAULT_WALK_LENGTH = 6
+
+
+class RandomWalkSampler:
+    """Samples members by random walks over :class:`MembershipViews`."""
+
+    def __init__(
+        self,
+        views: MembershipViews,
+        rng: random.Random,
+        walk_length: int = DEFAULT_WALK_LENGTH,
+    ) -> None:
+        if walk_length < 1:
+            raise ConfigurationError("walk_length must be >= 1")
+        self.views = views
+        self.rng = rng
+        self.walk_length = walk_length
+        self.walks = 0
+        self.failed_walks = 0
+
+    def walk(self, start: Hashable) -> Optional[Hashable]:
+        """One walk from ``start``; returns the landing member or ``None``.
+
+        A walk fails (returns ``None``) when it reaches a member with an
+        empty view, or would end on the enquirer itself — the enquirer
+        then simply retries next round, like an Oracle miss.
+        """
+        self.walks += 1
+        current = start
+        for _ in range(self.walk_length):
+            view = self.views.view(current)
+            if not view:
+                self.failed_walks += 1
+                return None
+            current = self.rng.choice(view)
+        if current == start:
+            self.failed_walks += 1
+            return None
+        return current

@@ -1,0 +1,60 @@
+"""The unstructured consumer overlay: views + walkers, churn-aware.
+
+Bundles :class:`~repro.gossip.membership.MembershipViews` and
+:class:`~repro.gossip.random_walk.RandomWalkSampler` into the service the
+distributed Oracle *Random* consumes: ``sample(member)`` returns a roughly
+uniform live consumer, with gossip rounds keeping views fresh as members
+come and go.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence
+
+from repro.gossip.membership import MembershipViews
+from repro.gossip.random_walk import DEFAULT_WALK_LENGTH, RandomWalkSampler
+
+
+class UnstructuredOverlay:
+    """Gossip substrate for random peer sampling."""
+
+    def __init__(
+        self,
+        members: Sequence[Hashable],
+        rng: random.Random,
+        view_size: int = 8,
+        walk_length: int = DEFAULT_WALK_LENGTH,
+        shuffle_every: int = 1,
+    ) -> None:
+        self.rng = rng
+        self.views = MembershipViews(view_size=view_size, rng=rng)
+        self.views.bootstrap(list(members))
+        self.sampler = RandomWalkSampler(self.views, rng, walk_length)
+        self.shuffle_every = max(1, shuffle_every)
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # membership dynamics (driven by the construction simulator's churn)
+    # ------------------------------------------------------------------
+
+    def join(self, member: Hashable) -> None:
+        self.views.add_member(member)
+
+    def leave(self, member: Hashable) -> None:
+        self.views.remove_member(member)
+
+    def members(self) -> List[Hashable]:
+        return self.views.members()
+
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One substrate round: gossip shuffle every ``shuffle_every`` ticks."""
+        self._round += 1
+        if self._round % self.shuffle_every == 0:
+            self.views.shuffle_round()
+
+    def sample(self, member: Hashable) -> Optional[Hashable]:
+        """A roughly uniform live member other than ``member`` (or None)."""
+        return self.sampler.walk(member)

@@ -1,0 +1,19 @@
+"""§7 extension: locality-context-aware LagOver construction."""
+
+from repro.locality.experiment import (
+    LocalityOutcome,
+    distance_hop_delay,
+    run_pair,
+)
+from repro.locality.model import LocalityModel, Placement, edge_cost_metrics
+from repro.locality.oracle import LocalityDelayOracle
+
+__all__ = [
+    "LocalityDelayOracle",
+    "LocalityModel",
+    "LocalityOutcome",
+    "Placement",
+    "distance_hop_delay",
+    "edge_cost_metrics",
+    "run_pair",
+]

@@ -1,0 +1,133 @@
+"""Locality contexts for consumers (§7 future work).
+
+The paper's conclusion: "building the LagOver based on locality contexts,
+like clients within same domain, ISP or timezone forming the overlay may
+substantially improve the global performance and resource usage".
+
+We model locality two ways at once, matching the paper's examples:
+
+* a **domain** label per consumer (ISP / AS / timezone — a small set of
+  discrete contexts), and
+* a **coordinate** in the unit square, from which pairwise network
+  distance is derived (the same embedding
+  :class:`repro.network.latency.CoordinateLatency` uses).
+
+Domains occupy clustered regions of the plane, so "same domain" and
+"small distance" correlate — as they do in real deployments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.node import NodeId
+from repro.core.tree import Overlay
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """One consumer's locality context."""
+
+    domain: int
+    x: float
+    y: float
+
+
+class LocalityModel:
+    """Assigns and serves locality contexts for an overlay's consumers.
+
+    ``domains`` cluster centres are spread on a circle; each consumer is
+    assigned a uniform domain and placed with Gaussian scatter around its
+    centre.  The source sits at the centre of the plane (it belongs to no
+    consumer domain).
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        rng: random.Random,
+        domains: int = 4,
+        scatter: float = 0.08,
+    ) -> None:
+        if domains < 1:
+            raise ConfigurationError("need at least one domain")
+        if scatter <= 0:
+            raise ConfigurationError("scatter must be > 0")
+        self.overlay = overlay
+        self.domains = domains
+        self._placements: Dict[NodeId, Placement] = {}
+        centres = [
+            (
+                0.5 + 0.35 * math.cos(2 * math.pi * d / domains),
+                0.5 + 0.35 * math.sin(2 * math.pi * d / domains),
+            )
+            for d in range(domains)
+        ]
+        for node in overlay.consumers:
+            domain = rng.randrange(domains)
+            cx, cy = centres[domain]
+            self._placements[node.node_id] = Placement(
+                domain=domain,
+                x=min(1.0, max(0.0, rng.gauss(cx, scatter))),
+                y=min(1.0, max(0.0, rng.gauss(cy, scatter))),
+            )
+        self._source_placement = Placement(domain=-1, x=0.5, y=0.5)
+
+    def placement(self, node_id: NodeId) -> Placement:
+        """The context of a consumer (or the source, node id 0)."""
+        if node_id == 0:
+            return self._source_placement
+        try:
+            return self._placements[node_id]
+        except KeyError:
+            raise ConfigurationError(f"node {node_id} has no placement") from None
+
+    def distance(self, a: NodeId, b: NodeId) -> float:
+        """Euclidean network distance between two participants."""
+        pa, pb = self.placement(a), self.placement(b)
+        return math.hypot(pa.x - pb.x, pa.y - pb.y)
+
+    def same_domain(self, a: NodeId, b: NodeId) -> bool:
+        pa, pb = self.placement(a), self.placement(b)
+        return pa.domain == pb.domain and pa.domain >= 0
+
+    def domain_members(self, domain: int) -> List[NodeId]:
+        return [
+            node_id
+            for node_id, placement in self._placements.items()
+            if placement.domain == domain
+        ]
+
+
+def edge_cost_metrics(
+    overlay: Overlay, model: LocalityModel
+) -> Tuple[float, float, Optional[float]]:
+    """Network cost of the current tree's edges.
+
+    Returns ``(mean_edge_distance, same_domain_fraction, max_edge)`` over
+    all consumer edges (child–parent pairs, source edges included in the
+    distance figures but excluded from the domain fraction).
+    """
+    distances: List[float] = []
+    same = 0
+    comparable = 0
+    for node in overlay.online_consumers:
+        parent = node.parent
+        if parent is None:
+            continue
+        distances.append(model.distance(node.node_id, parent.node_id))
+        if not parent.is_source:
+            comparable += 1
+            if model.same_domain(node.node_id, parent.node_id):
+                same += 1
+    if not distances:
+        return 0.0, 0.0, None
+    return (
+        sum(distances) / len(distances),
+        (same / comparable) if comparable else 0.0,
+        max(distances),
+    )

@@ -1,0 +1,16 @@
+"""§7 extension: multiple feeds over intersecting consumer populations."""
+
+from repro.multifeed.reuse import ReuseDelayOracle, reuse_oracle_factory
+from repro.multifeed.system import (
+    MultiFeedSystem,
+    ReuseMetrics,
+    Subscription,
+)
+
+__all__ = [
+    "MultiFeedSystem",
+    "ReuseDelayOracle",
+    "ReuseMetrics",
+    "Subscription",
+    "reuse_oracle_factory",
+]

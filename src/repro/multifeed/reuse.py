@@ -1,0 +1,74 @@
+"""The reuse-biased oracle: exploit intersecting consumers across feeds.
+
+Among delay-qualified candidates (the O3 filter), prefer — with
+probability ``reuse_bias`` — partners the enquirer is *already* adjacent
+to in another feed's tree.  A partnership that carries two feeds costs
+one network relationship instead of two, which is the §7 "reusing part
+of the LagOver for multiple sources" saving.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.node import Node
+from repro.core.tree import Overlay
+from repro.oracles.base import Oracle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.multifeed.system import MultiFeedSystem
+
+
+class ReuseDelayOracle(Oracle):
+    """Oracle Random-Delay with cross-feed partnership preference."""
+
+    name = "reuse-delay"
+    figure_label = "O3R"
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        rng: random.Random,
+        system: "MultiFeedSystem",
+        feed_id: str,
+        reuse_bias: float = 0.8,
+    ) -> None:
+        super().__init__(overlay, rng)
+        self.system = system
+        self.feed_id = feed_id
+        self.reuse_bias = reuse_bias
+        #: How many samples were served from the cross-feed partner set.
+        self.reuse_hits = 0
+
+    def _admits(self, enquirer: Node, candidate: Node) -> bool:
+        return self.overlay.delay_at(candidate) < enquirer.latency
+
+    def sample(self, enquirer: Node) -> Optional[Node]:
+        candidates = [
+            node
+            for node in self.overlay.online_consumers
+            if node is not enquirer and self._admits(enquirer, node)
+        ]
+        if not candidates:
+            self.misses += 1
+            return None
+        self.hits += 1
+        known = self.system.partners_elsewhere(enquirer.name, self.feed_id)
+        familiar = [node for node in candidates if node.name in known]
+        if familiar and self.rng.random() < self.reuse_bias:
+            self.reuse_hits += 1
+            return self.rng.choice(familiar)
+        return self.rng.choice(candidates)
+
+
+def reuse_oracle_factory(reuse_bias: float = 0.8):
+    """An :data:`~repro.multifeed.system.OracleFactory` building
+    :class:`ReuseDelayOracle` instances."""
+
+    def factory(system, feed_id, overlay, rng):
+        return ReuseDelayOracle(
+            overlay, rng, system, feed_id, reuse_bias=reuse_bias
+        )
+
+    return factory

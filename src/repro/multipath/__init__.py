@@ -1,0 +1,15 @@
+"""§7 extension: multipath delivery over multiple LagOvers."""
+
+from repro.multipath.delivery import (
+    AntiAffinityDelayOracle,
+    MultipathSystem,
+    ResilienceRow,
+    delivery_under_failures,
+)
+
+__all__ = [
+    "AntiAffinityDelayOracle",
+    "MultipathSystem",
+    "ResilienceRow",
+    "delivery_under_failures",
+]

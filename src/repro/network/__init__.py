@@ -1,0 +1,27 @@
+"""Simulated message-passing substrate: messages, latency models, transport."""
+
+from repro.network.latency import (
+    ConstantLatency,
+    CoordinateLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.network.message import Message
+from repro.network.topology import (
+    connected_components,
+    ensure_connected,
+    random_regularish_graph,
+)
+from repro.network.transport import Network
+
+__all__ = [
+    "ConstantLatency",
+    "CoordinateLatency",
+    "LatencyModel",
+    "Message",
+    "Network",
+    "UniformLatency",
+    "connected_components",
+    "ensure_connected",
+    "random_regularish_graph",
+]

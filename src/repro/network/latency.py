@@ -1,0 +1,99 @@
+"""Pairwise latency models for the simulated network.
+
+The paper measures delay in abstract time units determined by round-trip
+times between peers (§2.1.1); these models supply those RTTs for the
+substrate simulations.  Three models cover the needs of the experiments:
+
+* :class:`ConstantLatency` — every link identical; the baseline the
+  overlay-hop delay unit of the paper abstracts to.
+* :class:`UniformLatency` — i.i.d. per-pair draws, fixed per pair
+  (symmetric), modelling heterogeneous but stable paths.
+* :class:`CoordinateLatency` — endpoints embedded in a 2-D plane, latency
+  proportional to Euclidean distance plus a constant; produces the
+  triangle-inequality-respecting heterogeneity of real deployments.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import Any, Dict, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+class LatencyModel(abc.ABC):
+    """Supplies the one-way latency between two endpoint addresses."""
+
+    @abc.abstractmethod
+    def latency(self, sender: Any, recipient: Any) -> float:
+        """One-way latency, in simulation time units (must be >= 0)."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` time units."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ConfigurationError("latency must be >= 0")
+        self.value = value
+
+    def latency(self, sender: Any, recipient: Any) -> float:
+        return self.value
+
+
+class UniformLatency(LatencyModel):
+    """Per-pair latency drawn once from ``[low, high]``, symmetric."""
+
+    def __init__(self, low: float, high: float, rng: random.Random) -> None:
+        if not 0 <= low <= high:
+            raise ConfigurationError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+        self.rng = rng
+        self._pairs: Dict[Tuple[Any, Any], float] = {}
+
+    def latency(self, sender: Any, recipient: Any) -> float:
+        key = (sender, recipient) if repr(sender) <= repr(recipient) else (
+            recipient,
+            sender,
+        )
+        if key not in self._pairs:
+            self._pairs[key] = self.rng.uniform(self.low, self.high)
+        return self._pairs[key]
+
+
+class CoordinateLatency(LatencyModel):
+    """Endpoints live at 2-D coordinates; latency = base + scale * distance.
+
+    Unknown endpoints are placed uniformly at random in the unit square on
+    first use.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        base: float = 0.1,
+        scale: float = 1.0,
+    ) -> None:
+        if base < 0 or scale < 0:
+            raise ConfigurationError("base and scale must be >= 0")
+        self.rng = rng
+        self.base = base
+        self.scale = scale
+        self._coords: Dict[Any, Tuple[float, float]] = {}
+
+    def place(self, endpoint: Any, x: float, y: float) -> None:
+        """Pin an endpoint to explicit coordinates."""
+        self._coords[endpoint] = (x, y)
+
+    def _coordinate(self, endpoint: Any) -> Tuple[float, float]:
+        if endpoint not in self._coords:
+            self._coords[endpoint] = (self.rng.random(), self.rng.random())
+        return self._coords[endpoint]
+
+    def latency(self, sender: Any, recipient: Any) -> float:
+        ax, ay = self._coordinate(sender)
+        bx, by = self._coordinate(recipient)
+        return self.base + self.scale * math.hypot(ax - bx, ay - by)

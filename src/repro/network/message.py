@@ -1,0 +1,48 @@
+"""Message model for the simulated network substrate.
+
+The construction protocol itself is simulated at the interaction level
+(§4's discrete-time simulator), but the substrates the paper's oracle
+sketch relies on — a DHT directory, random walkers over an unstructured
+overlay, feed transfer — exchange actual messages.  This module defines
+the envelope those substrates send through
+:class:`repro.network.transport.Network`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any
+
+_sequence = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """One network message.
+
+    Attributes
+    ----------
+    sender / recipient:
+        Endpoint addresses (opaque hashable ids registered with the
+        :class:`~repro.network.transport.Network`).
+    kind:
+        Application-level message type tag, e.g. ``"dht.lookup"``.
+    payload:
+        Arbitrary application data (kept immutable by convention).
+    message_id:
+        Unique per-process id, for tracing and request/reply matching.
+    sent_at:
+        Simulation time at which the message entered the network.
+    """
+
+    sender: Any
+    recipient: Any
+    kind: str
+    payload: Any
+    message_id: int = dataclasses.field(default_factory=lambda: next(_sequence))
+    sent_at: float = 0.0
+
+    def reply_kind(self) -> str:
+        """Conventional reply tag: ``"x.reply"`` for kind ``"x"``."""
+        return f"{self.kind}.reply"

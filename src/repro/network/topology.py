@@ -1,0 +1,76 @@
+"""Random graph topologies for the unstructured (gossip) substrate.
+
+The paper's Oracle *Random* "can be implemented with random walkers if
+nodes participate in an unstructured network"; these helpers build the
+unstructured neighbour graphs those walkers traverse.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Sequence, Set
+
+from repro.core.errors import ConfigurationError
+
+AdjacencyMap = Dict[Hashable, Set[Hashable]]
+
+
+def random_regularish_graph(
+    vertices: Sequence[Hashable], degree: int, rng: random.Random
+) -> AdjacencyMap:
+    """An undirected graph where every vertex has ~``degree`` neighbours.
+
+    Built by giving each vertex ``degree`` outgoing picks and symmetrizing
+    — the classic construction for unstructured P2P membership views.  The
+    result is connected with high probability for ``degree >= 3``;
+    :func:`ensure_connected` patches the rare leftovers deterministically.
+    """
+    vertices = list(vertices)
+    if degree < 1:
+        raise ConfigurationError("degree must be >= 1")
+    if len(vertices) <= degree:
+        # Small population: complete graph.
+        return {
+            v: {u for u in vertices if u != v} for v in vertices
+        }
+    adjacency: AdjacencyMap = {v: set() for v in vertices}
+    for v in vertices:
+        candidates = [u for u in vertices if u != v]
+        for u in rng.sample(candidates, degree):
+            adjacency[v].add(u)
+            adjacency[u].add(v)
+    return ensure_connected(adjacency, rng)
+
+
+def connected_components(adjacency: AdjacencyMap) -> List[Set[Hashable]]:
+    """Connected components of an undirected adjacency map."""
+    remaining = set(adjacency)
+    components: List[Set[Hashable]] = []
+    while remaining:
+        start = next(iter(remaining))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            vertex = frontier.pop()
+            for neighbour in adjacency[vertex]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        components.append(seen)
+        remaining -= seen
+    return components
+
+
+def ensure_connected(adjacency: AdjacencyMap, rng: random.Random) -> AdjacencyMap:
+    """Join disconnected components with one random edge each."""
+    components = connected_components(adjacency)
+    if len(components) <= 1:
+        return adjacency
+    anchor_component = components[0]
+    for component in components[1:]:
+        a = rng.choice(sorted(anchor_component, key=repr))
+        b = rng.choice(sorted(component, key=repr))
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+        anchor_component |= component
+    return adjacency

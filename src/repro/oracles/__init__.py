@@ -1,0 +1,23 @@
+"""Oracle services (§2.1.4): omniscient and distributed realizations."""
+
+from repro.oracles.base import (
+    ORACLES,
+    Oracle,
+    RandomCapacityOracle,
+    RandomDelayCapacityOracle,
+    RandomDelayOracle,
+    RandomOracle,
+    make_oracle,
+    oracle_names,
+)
+
+__all__ = [
+    "ORACLES",
+    "Oracle",
+    "RandomCapacityOracle",
+    "RandomDelayCapacityOracle",
+    "RandomDelayOracle",
+    "RandomOracle",
+    "make_oracle",
+    "oracle_names",
+]

@@ -1,0 +1,38 @@
+"""Simulation machinery: round loop, churn, asynchrony, metrics, events."""
+
+from repro.sim.asynchrony import AsynchronyConfig, AsynchronyModel
+from repro.sim.churn import ChurnConfig, ChurnProcess
+from repro.sim.engine import EventHandle, EventScheduler
+from repro.sim.metrics import MetricsCollector, RoundRecord
+from repro.sim.rng import StreamFactory, derive_seed, make_stream
+from repro.sim.runner import (
+    ALGORITHMS,
+    register_algorithm,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+)
+from repro.sim.trace import OverlayTrace, TraceFrame
+
+__all__ = [
+    "ALGORITHMS",
+    "AsynchronyConfig",
+    "AsynchronyModel",
+    "ChurnConfig",
+    "ChurnProcess",
+    "EventHandle",
+    "EventScheduler",
+    "MetricsCollector",
+    "OverlayTrace",
+    "RoundRecord",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "StreamFactory",
+    "TraceFrame",
+    "derive_seed",
+    "make_stream",
+    "register_algorithm",
+    "run_simulation",
+]

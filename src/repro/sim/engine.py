@@ -1,0 +1,118 @@
+"""A small discrete-event engine.
+
+The construction protocol runs on a synchronous round clock
+(:mod:`repro.sim.runner`), but the substrates — the message-passing
+network, the DHT, the gossip layer, feed dissemination — are naturally
+event-driven: messages arrive after heterogeneous latencies, pulls fire
+periodically, items publish at random times.  This engine provides the
+classic timestamp-ordered event queue those substrates schedule against.
+
+No wall-clock, no threads: time is a float the engine advances from event
+to event, so runs are fully deterministic given deterministic callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+class EventHandle:
+    """Returned by :meth:`EventScheduler.schedule`; allows cancellation."""
+
+    __slots__ = ("time", "sequence", "callback", "cancelled")
+
+    def __init__(self, time: float, sequence: int, callback: Callable[[], None]):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Timestamp-ordered event execution with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._fired = 0
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` from now."""
+        if delay < 0:
+            raise ConfigurationError(f"cannot schedule into the past ({delay})")
+        bound = (lambda: callback(*args)) if args else callback
+        handle = EventHandle(self.now + delay, next(self._sequence), bound)
+        heapq.heappush(self._queue, (handle.time, handle.sequence, handle))
+        return handle
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule at an absolute time (must not be in the past)."""
+        return self.schedule(time - self.now, callback, *args)
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-fired, not-cancelled events."""
+        return sum(1 for _, _, h in self._queue if not h.cancelled)
+
+    @property
+    def fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._fired
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Fire the next event; returns ``False`` if none remained."""
+        while self._queue:
+            _, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            self._fired += 1
+            handle.callback()
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> None:
+        """Fire every event with timestamp <= ``time``; advance now to it."""
+        fired = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            fired += 1
+            if fired > max_events:
+                raise ConfigurationError(
+                    f"run_until({time}) exceeded {max_events} events; "
+                    "likely a self-rescheduling loop with zero delay"
+                )
+        self.now = max(self.now, time)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Fire all events until the queue drains (bounded by max_events)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise ConfigurationError(
+                    f"run() exceeded {max_events} events; "
+                    "likely an unbounded event cascade"
+                )

@@ -1,0 +1,61 @@
+"""Per-round measurement collection for construction runs."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.convergence import OverlayQuality, measure
+from repro.core.tree import Overlay
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundRecord:
+    """State of the overlay at the end of one simulation round."""
+
+    round: int
+    quality: OverlayQuality
+    cumulative_attaches: int
+    cumulative_detaches: int
+    departures: int
+    rejoins: int
+
+
+class MetricsCollector:
+    """Accumulates one :class:`RoundRecord` per round of a run."""
+
+    def __init__(self, overlay: Overlay) -> None:
+        self.overlay = overlay
+        self.records: List[RoundRecord] = []
+
+    def record(self, now: int, departures: int = 0, rejoins: int = 0) -> RoundRecord:
+        """Measure the overlay and append a record for round ``now``."""
+        record = RoundRecord(
+            round=now,
+            quality=measure(self.overlay),
+            cumulative_attaches=self.overlay.attach_count,
+            cumulative_detaches=self.overlay.detach_count,
+            departures=departures,
+            rejoins=rejoins,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # convenience series extraction
+    # ------------------------------------------------------------------
+
+    def satisfied_series(self) -> List[float]:
+        """Satisfied fraction per round."""
+        return [r.quality.satisfied_fraction for r in self.records]
+
+    def fragments_series(self) -> List[int]:
+        """Number of disjoint fragments per round (coalescence progress)."""
+        return [r.quality.fragments for r in self.records]
+
+    def first_converged_round(self) -> Optional[int]:
+        """First round at which all online consumers were satisfied."""
+        for record in self.records:
+            if record.quality.converged:
+                return record.round
+        return None

@@ -1,0 +1,262 @@
+"""The discrete-time construction simulator (§4).
+
+One :class:`Simulation` runs one LagOver construction: a workload is
+instantiated as an overlay of parentless consumers, and rounds proceed
+until every online consumer meets its latency constraint (or a round
+budget runs out).  Per round, in randomized order, every free online
+consumer acts once — parentless nodes execute a construction step
+(timeout / referral / oracle interaction), parented nodes run their
+maintenance rule — after which the churn process (if any) fires.
+
+Time here is the *construction* clock of §2.1.1's decoupled-time model;
+the feed-staleness clock lives in :mod:`repro.feeds` and is measured in
+pull periods, not rounds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.core.convergence import OverlayQuality, measure
+from repro.core.errors import ConfigurationError
+from repro.core.greedy import GreedyConstruction
+from repro.core.hybrid import HybridConstruction
+from repro.core.protocol import ConstructionAlgorithm, ProtocolConfig
+from repro.core.tree import Overlay
+from repro.oracles.base import ORACLES, Oracle
+from repro.oracles.distributed import realize_oracle
+from repro.sim.asynchrony import AsynchronyConfig, AsynchronyModel
+from repro.sim.churn import ChurnConfig, ChurnProcess
+from repro.sim.metrics import MetricsCollector
+from repro.sim.rng import StreamFactory
+from repro.sim.trace import OverlayTrace
+from repro.workloads.base import Workload
+
+#: Algorithm name -> class, for config-driven instantiation.
+ALGORITHMS = {
+    GreedyConstruction.name: GreedyConstruction,
+    HybridConstruction.name: HybridConstruction,
+}
+
+
+def register_algorithm(cls) -> None:
+    """Register a construction-algorithm variant for config-driven use.
+
+    Lets extensions and ablations (e.g. a knee-jerk-maintenance greedy)
+    run through the standard :class:`Simulation` machinery under their
+    own ``cls.name``.
+    """
+    if not issubclass(cls, ConstructionAlgorithm):
+        raise ConfigurationError(f"{cls!r} is not a ConstructionAlgorithm")
+    if not cls.name or cls.name == "abstract":
+        raise ConfigurationError("algorithm variants need a distinct name")
+    ALGORITHMS[cls.name] = cls
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationConfig:
+    """Everything that parameterizes one construction run except the
+    workload itself.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"greedy"`` or ``"hybrid"``.
+    oracle:
+        One of the names in :data:`repro.oracles.base.ORACLES`.
+    oracle_realization:
+        ``"omniscient"`` (paper's simulation model, default), ``"dht"``
+        (Chord-hosted directory) or ``"random-walk"`` (gossip walkers,
+        Oracle Random only) — see :mod:`repro.oracles.distributed`.
+    protocol:
+        Timeout and maintenance tunables (:class:`ProtocolConfig`).
+    churn:
+        Membership dynamics, or ``None`` for a static population.
+    asynchrony:
+        Heterogeneous interaction durations, or ``None`` for the
+        synchronous model.
+    max_rounds:
+        Round budget; a run that does not converge within it is reported
+        with ``converged=False`` (this is an expected outcome for the
+        O2a/O2b oracles and for Greedy on adversarial workloads).
+    seed:
+        Root seed; all internal streams derive from it.
+    stop_at_convergence:
+        Stop at the first converged round (the construction-latency
+        experiments) or keep running to ``max_rounds`` (steady-state /
+        churn-resilience studies).
+    record_trace:
+        Capture a parent-map snapshot every round (memory-heavier; used
+        by the walkthrough example and structural tests).
+    """
+
+    algorithm: str = "greedy"
+    oracle: str = "random-delay"
+    oracle_realization: str = "omniscient"
+    protocol: ProtocolConfig = dataclasses.field(default_factory=ProtocolConfig)
+    churn: Optional[ChurnConfig] = None
+    asynchrony: Optional[AsynchronyConfig] = None
+    max_rounds: int = 3000
+    seed: int = 0
+    stop_at_convergence: bool = True
+    record_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {sorted(ALGORITHMS)}"
+            )
+        if self.oracle not in ORACLES:
+            raise ConfigurationError(
+                f"unknown oracle {self.oracle!r}; choose from {sorted(ORACLES)}"
+            )
+        if self.oracle_realization not in ("omniscient", "dht", "random-walk"):
+            raise ConfigurationError(
+                f"unknown oracle realization {self.oracle_realization!r}"
+            )
+        if self.max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """A copy with the given fields replaced (sweep convenience)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one construction run.
+
+    ``construction_rounds`` is the paper's *construction latency*: the
+    first round at which every online consumer met its constraint
+    (``None`` if that never happened within the budget).
+    """
+
+    workload_name: str
+    algorithm: str
+    oracle: str
+    seed: int
+    converged: bool
+    construction_rounds: Optional[int]
+    rounds_run: int
+    final_quality: OverlayQuality
+    satisfied_series: List[float]
+    attaches: int
+    detaches: int
+    oracle_misses: int
+    departures: int
+    rejoins: int
+
+
+class Simulation:
+    """One construction run, stepwise-inspectable.
+
+    Typical use is the one-shot :meth:`run`; tests and examples can
+    instead call :meth:`run_round` repeatedly and inspect
+    :attr:`overlay` / :attr:`metrics` / :attr:`trace` between rounds.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: SimulationConfig,
+        oracle_factory=None,
+    ) -> None:
+        self.workload = workload
+        self.config = config
+        self.streams = StreamFactory(config.seed)
+        self.overlay: Overlay = workload.build_overlay()
+        if oracle_factory is not None:
+            # Escape hatch for custom oracles (locality bias, multi-feed
+            # reuse, ...): a callable (overlay, rng) -> Oracle.
+            self.oracle: Oracle = oracle_factory(
+                self.overlay, self.streams.get("oracle")
+            )
+        else:
+            self.oracle = realize_oracle(
+                config.oracle_realization,
+                config.oracle,
+                self.overlay,
+                self.streams.get("oracle"),
+            )
+        algorithm_cls = ALGORITHMS[config.algorithm]
+        self.algorithm: ConstructionAlgorithm = algorithm_cls(
+            self.overlay, self.oracle, config.protocol
+        )
+        self.churn = (
+            ChurnProcess(self.overlay, config.churn, self.streams.get("churn"))
+            if config.churn is not None
+            else None
+        )
+        self.asynchrony = (
+            AsynchronyModel(config.asynchrony, self.streams.get("asynchrony"))
+            if config.asynchrony is not None
+            else None
+        )
+        self.metrics = MetricsCollector(self.overlay)
+        self.trace = OverlayTrace(self.overlay) if config.record_trace else None
+        self.now = 0
+        self._order_rng = self.streams.get("order")
+
+    # ------------------------------------------------------------------
+
+    def run_round(self) -> None:
+        """Advance the simulation by one round."""
+        self.now += 1
+        departures = rejoins = 0
+        if self.churn is not None:
+            events = self.churn.step(self.now)
+            departures, rejoins = len(events.left), len(events.rejoined)
+        self.oracle.on_round(self.now)
+        nodes = self.overlay.online_consumers
+        self._order_rng.shuffle(nodes)
+        for node in nodes:
+            if not node.online:
+                continue  # went offline mid-round? (defensive; churn is pre-round)
+            if node.parent is not None:
+                self.algorithm.maintain(node)
+                continue
+            if self.asynchrony is not None and not self.asynchrony.is_free(
+                node, self.now
+            ):
+                continue
+            self.algorithm.step(node)
+            if self.asynchrony is not None:
+                self.asynchrony.occupy(node, self.now)
+        self.metrics.record(self.now, departures=departures, rejoins=rejoins)
+        if self.trace is not None:
+            self.trace.capture(self.now)
+
+    def run(self) -> SimulationResult:
+        """Run to convergence or to the round budget; return the result."""
+        while self.now < self.config.max_rounds:
+            self.run_round()
+            if self.config.stop_at_convergence and self.overlay.is_converged():
+                break
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """Package the current state as a :class:`SimulationResult`."""
+        first = self.metrics.first_converged_round()
+        return SimulationResult(
+            workload_name=self.workload.name,
+            algorithm=self.config.algorithm,
+            oracle=self.config.oracle,
+            seed=self.config.seed,
+            converged=first is not None,
+            construction_rounds=first,
+            rounds_run=self.now,
+            final_quality=measure(self.overlay),
+            satisfied_series=self.metrics.satisfied_series(),
+            attaches=self.overlay.attach_count,
+            detaches=self.overlay.detach_count,
+            oracle_misses=self.oracle.misses,
+            departures=self.churn.total_departures if self.churn else 0,
+            rejoins=self.churn.total_rejoins if self.churn else 0,
+        )
+
+
+def run_simulation(workload: Workload, config: SimulationConfig) -> SimulationResult:
+    """Convenience one-shot: build, run, return the result."""
+    return Simulation(workload, config).run()

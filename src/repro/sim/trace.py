@@ -1,0 +1,64 @@
+"""Structural traces: parent-map snapshots of an overlay over time.
+
+Used by the Fig. 1 style walkthrough example and by tests that assert on
+the *sequence* of reconfigurations, not only the end state.  Traces are
+plain data (node ids), cheap to compare and to diff.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from repro.core.node import NodeId
+from repro.core.tree import Overlay
+
+ParentMap = Dict[NodeId, Optional[NodeId]]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceFrame:
+    """One snapshot: parent map plus the set of online consumers."""
+
+    round: int
+    parents: ParentMap
+    online: frozenset
+
+    def edges(self) -> Set:
+        """Set of ``(child_id, parent_id)`` edges in this frame."""
+        return {(c, p) for c, p in self.parents.items() if p is not None}
+
+
+class OverlayTrace:
+    """Collects :class:`TraceFrame` snapshots of a run."""
+
+    def __init__(self, overlay: Overlay) -> None:
+        self.overlay = overlay
+        self.frames: List[TraceFrame] = []
+
+    def capture(self, now: int) -> TraceFrame:
+        frame = TraceFrame(
+            round=now,
+            parents=self.overlay.snapshot(),
+            online=frozenset(
+                n.node_id for n in self.overlay.consumers if n.online
+            ),
+        )
+        self.frames.append(frame)
+        return frame
+
+    def changes(self) -> List[int]:
+        """Rounds at which the parent map changed from the previous frame."""
+        changed = []
+        for previous, current in zip(self.frames, self.frames[1:]):
+            if previous.parents != current.parents:
+                changed.append(current.round)
+        return changed
+
+    def total_edge_changes(self) -> int:
+        """Total number of edge additions+removals across the trace — the
+        structural churn the construction process itself induced."""
+        total = 0
+        for previous, current in zip(self.frames, self.frames[1:]):
+            total += len(previous.edges() ^ current.edges())
+        return total

@@ -1,0 +1,58 @@
+"""Workload generators: the §4.1 topological constraints and §3.3.1 set."""
+
+from repro.workloads.adversarial import (
+    ADVERSARIAL_SOURCE_FANOUT,
+    adversarial_population,
+    adversarial_workload,
+    paper_adversarial_population,
+    paper_adversarial_workload,
+)
+from repro.workloads.base import NamedSpec, Workload, make_workload
+from repro.workloads.bimodal import (
+    HIGH_FANOUTS,
+    LOW_FANOUTS,
+    STRICT_LATENCY_BOUND,
+    bicorr_workload,
+    bimodal_population,
+    biuncorr_workload,
+)
+from repro.workloads.catalog import PAPER_FAMILIES, family_names, make
+from repro.workloads.io import (
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.workloads.random_workload import rand_workload, random_population
+from repro.workloads.repair import RepairReport, repair_population
+from repro.workloads.tf1 import tf1_population, tf1_workload
+
+__all__ = [
+    "ADVERSARIAL_SOURCE_FANOUT",
+    "HIGH_FANOUTS",
+    "LOW_FANOUTS",
+    "NamedSpec",
+    "PAPER_FAMILIES",
+    "RepairReport",
+    "STRICT_LATENCY_BOUND",
+    "Workload",
+    "adversarial_population",
+    "adversarial_workload",
+    "bicorr_workload",
+    "bimodal_population",
+    "biuncorr_workload",
+    "family_names",
+    "load_workload",
+    "make",
+    "make_workload",
+    "paper_adversarial_population",
+    "paper_adversarial_workload",
+    "rand_workload",
+    "random_population",
+    "repair_population",
+    "save_workload",
+    "tf1_population",
+    "workload_from_dict",
+    "workload_to_dict",
+    "tf1_workload",
+]

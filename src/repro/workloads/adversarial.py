@@ -1,0 +1,91 @@
+"""The §3.3.1 adversarial counter-example.
+
+The paper exhibits a population for which the sufficiency condition fails
+yet a valid LagOver exists — and on which the Greedy algorithm provably
+cannot reach it, because its edge invariant (``l_parent <= l_child``)
+forbids placing the strict-latency peers *below* the high-fanout lax peer
+that the only feasible configuration requires upstream.
+
+**A faithfulness note.**  The paper's printed population is
+``{0_1, 1_1^1, 2_1^2, 3_2^4, 4_1^3, 5_0^3}`` with the claimed feasible
+configuration ``5 <- 3, 4 <- 3, 3 <- 2, 2 <- 1, 1 <- 0``.  Under the
+delay model the paper itself uses everywhere else (Fig. 1's walkthrough
+and the Alg. 1 lemma: a direct puller observes delay 1, each hop adds 1),
+that configuration puts nodes 4 and 5 at delay 4 — violating their
+constraint of 3 — and exhaustive search
+(:func:`repro.core.sufficiency.find_feasible_configuration`) confirms *no*
+feasible configuration exists for the printed numbers: nodes 4 and 5 both
+need depth <= 3, but the single chain ``0 -> 1 -> 2`` offers only one slot
+at depth 3.  The printed example is consistent only with a delay model in
+which direct pullers observe delay 0, which contradicts Fig. 1.
+
+We therefore reproduce the example with the minimal repair that restores
+the paper's intent under its own Fig. 1 delay model: node 3's latency
+constraint is relaxed from 4 to 5 (one character of the paper changes).
+The repaired population keeps every property §3.3.1 claims:
+
+* the sufficiency condition fails (|N_4| = 2 nodes with constraint 4, but
+  only 1 unit of carried-over capacity reaches that class);
+* a valid configuration exists: ``0 -> 1 -> 2 -> 3 -> {4, 5}`` — the
+  high-fanout lax node 3 sits *above* the two stricter nodes 4 and 5;
+* the Greedy algorithm can never reach it: its invariant forbids the
+  edges ``4 <- 3`` and ``5 <- 3`` (parent constraint 5 > child's 4), and
+  every invariant-respecting configuration strands at least one node
+  (verified exhaustively in the tests);
+* the Hybrid algorithm, which prefers high fanout upstream, can reach it.
+
+Both the verbatim and the repaired populations are exported so tests can
+document the discrepancy explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.constraints import NodeSpec
+from repro.workloads.base import NamedSpec, Workload, make_workload
+
+#: Source fanout of the counter-example ("0_1 means that the source will
+#: directly support only 1 consumer").
+ADVERSARIAL_SOURCE_FANOUT = 1
+
+
+def paper_adversarial_population() -> List[NamedSpec]:
+    """The §3.3.1 population exactly as printed: ``1_1^1 2_1^2 3_2^4 4_1^3
+    5_0^3``.  Infeasible under the Fig. 1 delay model (see module docs)."""
+    return [
+        ("1", NodeSpec(latency=1, fanout=1)),
+        ("2", NodeSpec(latency=2, fanout=1)),
+        ("3", NodeSpec(latency=4, fanout=2)),
+        ("4", NodeSpec(latency=3, fanout=1)),
+        ("5", NodeSpec(latency=3, fanout=0)),
+    ]
+
+
+def adversarial_population() -> List[NamedSpec]:
+    """The repaired counter-example: node 3 relaxed to ``3_2^5``."""
+    return [
+        ("1", NodeSpec(latency=1, fanout=1)),
+        ("2", NodeSpec(latency=2, fanout=1)),
+        ("3", NodeSpec(latency=5, fanout=2)),
+        ("4", NodeSpec(latency=4, fanout=1)),
+        ("5", NodeSpec(latency=4, fanout=0)),
+    ]
+
+
+def paper_adversarial_workload() -> Workload:
+    """Workload wrapper for the verbatim (infeasible) printed population."""
+    return make_workload(
+        name="Adversarial-3.3.1(paper-verbatim)",
+        source_fanout=ADVERSARIAL_SOURCE_FANOUT,
+        population=paper_adversarial_population(),
+    )
+
+
+def adversarial_workload() -> Workload:
+    """Workload wrapper for the repaired §3.3.1 counter-example."""
+    return make_workload(
+        name="Adversarial-3.3.1",
+        source_fanout=ADVERSARIAL_SOURCE_FANOUT,
+        population=adversarial_population(),
+    )

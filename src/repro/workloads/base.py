@@ -1,0 +1,86 @@
+"""Workload model: a population of constraints plus the source's capacity.
+
+A *workload* (§4.1's "topological constraints") is what a construction run
+consumes: the source fanout and one :class:`~repro.core.constraints.NodeSpec`
+per consumer.  Workloads are immutable value objects so one generated
+workload can be replayed across algorithms, oracles and churn settings —
+the paired-comparison discipline the paper's §5 relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import ConfigurationError
+from repro.core.sufficiency import sufficiency_holds
+from repro.core.tree import Overlay
+
+NamedSpec = Tuple[str, NodeSpec]
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """An immutable population: source fanout plus named consumer specs."""
+
+    name: str
+    source_fanout: int
+    population: Tuple[NamedSpec, ...]
+
+    def __post_init__(self) -> None:
+        if self.source_fanout < 1:
+            raise ConfigurationError("source fanout must be >= 1")
+        if not self.population:
+            raise ConfigurationError("a workload needs at least one consumer")
+
+    @property
+    def size(self) -> int:
+        """Number of consumers."""
+        return len(self.population)
+
+    @property
+    def specs(self) -> List[NodeSpec]:
+        """Just the constraint pairs, in population order."""
+        return [spec for _, spec in self.population]
+
+    def build_overlay(self) -> Overlay:
+        """Fresh overlay with this population, all parentless and online."""
+        overlay = Overlay(source_fanout=self.source_fanout)
+        overlay.add_population(self.population)
+        return overlay
+
+    def satisfies_sufficiency(self) -> bool:
+        """Whether the §3.3 existence condition holds for this population."""
+        return sufficiency_holds(self.source_fanout, self.specs)
+
+    def latency_histogram(self) -> Dict[int, int]:
+        """``{latency_constraint: count}`` over the population."""
+        histogram: Dict[int, int] = {}
+        for spec in self.specs:
+            histogram[spec.latency] = histogram.get(spec.latency, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def fanout_histogram(self) -> Dict[int, int]:
+        """``{fanout_constraint: count}`` over the population."""
+        histogram: Dict[int, int] = {}
+        for spec in self.specs:
+            histogram[spec.fanout] = histogram.get(spec.fanout, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"{self.name}: n={self.size}, f0={self.source_fanout}, "
+            f"latencies={self.latency_histogram()}, "
+            f"fanouts={self.fanout_histogram()}"
+        )
+
+
+def make_workload(
+    name: str, source_fanout: int, population: Sequence[NamedSpec]
+) -> Workload:
+    """Construct a :class:`Workload`, normalizing the population to a tuple."""
+    return Workload(
+        name=name, source_fanout=source_fanout, population=tuple(population)
+    )

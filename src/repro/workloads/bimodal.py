@@ -1,0 +1,108 @@
+"""Bimodal workloads: BiCorr and BiUnCorr (§4.1).
+
+Both model a modem/broadband split: fanout is either *low* (1 or 2) or
+*high* (7 or 8), latency constraints range over 1..10 time units.
+
+**BiCorr** is the paper's worst case: peers with strict latency
+constraints (< 3 time units) also have low downstream capacity — the
+nodes that must sit close to the source are exactly the ones that can
+serve the fewest peers downstream.  This is the workload on which the
+Hybrid algorithm's joint latency/capacity optimization pays off (Fig. 4).
+
+**BiUnCorr** is the contrast: the same bimodal capacity mix, but latency
+and capacity uncorrelated — "no systematic conflict of interest in
+putting these peers close to the server."
+
+As for Rand, generated draws are repaired to the §3.3 sufficiency
+condition (:mod:`repro.workloads.repair`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import ConfigurationError
+from repro.sim.rng import make_stream
+from repro.workloads.base import NamedSpec, Workload, make_workload
+from repro.workloads.repair import RepairReport, repair_population
+
+#: Latency constraints strictly below this bound force low fanout in BiCorr.
+STRICT_LATENCY_BOUND = 3
+
+LOW_FANOUTS = (1, 2)
+HIGH_FANOUTS = (7, 8)
+
+
+def bimodal_population(
+    size: int,
+    rng: random.Random,
+    correlated: bool,
+    max_latency: int = 10,
+    high_fraction: float = 0.5,
+) -> List[NamedSpec]:
+    """One bimodal draw.
+
+    With ``correlated=True`` (BiCorr), peers with latency constraint
+    below :data:`STRICT_LATENCY_BOUND` always draw a low fanout; all other
+    peers (and all peers in the uncorrelated variant) are high-capacity
+    with probability ``high_fraction``.
+    """
+    if size < 1:
+        raise ConfigurationError("population must have at least one node")
+    if max_latency < 1:
+        raise ConfigurationError("max_latency must be >= 1")
+    if not 0.0 <= high_fraction <= 1.0:
+        raise ConfigurationError("high_fraction must be in [0, 1]")
+    population: List[NamedSpec] = []
+    for index in range(size):
+        latency = rng.randint(1, max_latency)
+        forced_low = correlated and latency < STRICT_LATENCY_BOUND
+        high = (not forced_low) and rng.random() < high_fraction
+        fanout = rng.choice(HIGH_FANOUTS if high else LOW_FANOUTS)
+        prefix = "bc" if correlated else "bu"
+        population.append(
+            (f"{prefix}{index}", NodeSpec(latency=latency, fanout=fanout))
+        )
+    return population
+
+
+def bicorr_workload(
+    size: int = 120,
+    seed: int = 0,
+    source_fanout: int = 3,
+    max_latency: int = 10,
+) -> Tuple[Workload, RepairReport]:
+    """BiCorr: bimodal capacity *correlated* with strict latency (worst case)."""
+    rng = make_stream(seed, "workload/bicorr")
+    population = bimodal_population(
+        size, rng, correlated=True, max_latency=max_latency
+    )
+    population, report = repair_population(source_fanout, population, rng)
+    workload = make_workload(
+        name=f"BiCorr(n={size},seed={seed})",
+        source_fanout=source_fanout,
+        population=population,
+    )
+    return workload, report
+
+
+def biuncorr_workload(
+    size: int = 120,
+    seed: int = 0,
+    source_fanout: int = 3,
+    max_latency: int = 10,
+) -> Tuple[Workload, RepairReport]:
+    """BiUnCorr: the same capacity mix, uncorrelated with latency."""
+    rng = make_stream(seed, "workload/biuncorr")
+    population = bimodal_population(
+        size, rng, correlated=False, max_latency=max_latency
+    )
+    population, report = repair_population(source_fanout, population, rng)
+    workload = make_workload(
+        name=f"BiUnCorr(n={size},seed={seed})",
+        source_fanout=source_fanout,
+        population=population,
+    )
+    return workload, report

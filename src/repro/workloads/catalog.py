@@ -1,0 +1,77 @@
+"""A registry of the paper's workload families, addressable by name.
+
+Experiments and benchmarks refer to workloads by the §4.1 names —
+``"Tf1"``, ``"Rand"``, ``"BiCorr"``, ``"BiUnCorr"`` — plus the §3.3.1
+``"Adversarial"`` set.  :func:`make` builds a concrete instance for a
+given population size and seed (Tf1 and Adversarial are deterministic and
+ignore the seed beyond naming).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.adversarial import adversarial_workload
+from repro.workloads.base import Workload
+from repro.workloads.bimodal import bicorr_workload, biuncorr_workload
+from repro.workloads.random_workload import rand_workload
+from repro.workloads.tf1 import tf1_workload
+
+
+def _make_tf1(size: int, seed: int, source_fanout: int) -> Workload:
+    # Tf1's tier structure ties the source fanout to the common fanout F;
+    # the `source_fanout` knob is ignored by design.
+    return tf1_workload(size=size)
+
+
+def _make_rand(size: int, seed: int, source_fanout: int) -> Workload:
+    workload, _ = rand_workload(size=size, seed=seed, source_fanout=source_fanout)
+    return workload
+
+
+def _make_bicorr(size: int, seed: int, source_fanout: int) -> Workload:
+    workload, _ = bicorr_workload(size=size, seed=seed, source_fanout=source_fanout)
+    return workload
+
+
+def _make_biuncorr(size: int, seed: int, source_fanout: int) -> Workload:
+    workload, _ = biuncorr_workload(size=size, seed=seed, source_fanout=source_fanout)
+    return workload
+
+
+def _make_adversarial(size: int, seed: int, source_fanout: int) -> Workload:
+    return adversarial_workload()
+
+
+_FACTORIES: Dict[str, Callable[[int, int, int], Workload]] = {
+    "Tf1": _make_tf1,
+    "Rand": _make_rand,
+    "BiCorr": _make_bicorr,
+    "BiUnCorr": _make_biuncorr,
+    "Adversarial": _make_adversarial,
+}
+
+#: The four §4.1 topological-constraint families, in paper order.
+PAPER_FAMILIES = ("Tf1", "Rand", "BiCorr", "BiUnCorr")
+
+
+def family_names() -> List[str]:
+    """All registered workload family names."""
+    return list(_FACTORIES)
+
+
+def make(
+    family: str, size: int = 120, seed: int = 0, source_fanout: int = 3
+) -> Workload:
+    """Build a workload of the named family.
+
+    ``size``/``source_fanout`` are ignored by families with fixed
+    populations (Adversarial) or coupled parameters (Tf1's source fanout).
+    """
+    try:
+        factory = _FACTORIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload family {family!r}; choose from {family_names()}"
+        ) from None
+    return factory(size, seed, source_fanout)

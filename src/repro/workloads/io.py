@@ -1,0 +1,77 @@
+"""Workload (de)serialization.
+
+Generated workloads are deterministic given their seed, but experiments
+that must be replayable across library versions (or shared between
+machines) want the *materialized* population pinned down.  Workloads
+round-trip through a small JSON document::
+
+    {
+      "name": "BiCorr(n=120,seed=1)",
+      "source_fanout": 3,
+      "population": [["bc0", {"latency": 4, "fanout": 7}], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import ConfigurationError
+from repro.workloads.base import Workload, make_workload
+
+FORMAT_VERSION = 1
+
+
+def workload_to_dict(workload: Workload) -> dict:
+    """Plain-data representation of a workload."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": workload.name,
+        "source_fanout": workload.source_fanout,
+        "population": [
+            [name, {"latency": spec.latency, "fanout": spec.fanout}]
+            for name, spec in workload.population
+        ],
+    }
+
+
+def workload_from_dict(data: dict) -> Workload:
+    """Rebuild a workload from :func:`workload_to_dict` output."""
+    try:
+        version = data["format_version"]
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported workload format version {version!r}"
+            )
+        population = [
+            (str(name), NodeSpec(latency=spec["latency"], fanout=spec["fanout"]))
+            for name, spec in data["population"]
+        ]
+        return make_workload(
+            name=str(data["name"]),
+            source_fanout=int(data["source_fanout"]),
+            population=population,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        if isinstance(error, ConfigurationError):
+            raise
+        raise ConfigurationError(f"malformed workload document: {error!r}")
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write a workload as JSON."""
+    Path(path).write_text(
+        json.dumps(workload_to_dict(workload), indent=2), encoding="utf-8"
+    )
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload written by :func:`save_workload`."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"not a JSON workload file: {error}")
+    return workload_from_dict(data)

@@ -1,0 +1,73 @@
+"""The Rand workload: uncorrelated random constraints (§4.1).
+
+"Nodes have random delay and capacity constraints, and the delays and
+capacities are not correlated."  We draw latency constraints uniformly
+from ``[1, max_latency]`` (the paper's typical range is 1..10 time units)
+and fanouts uniformly from ``[min_fanout, max_fanout]``, then repair the
+draw to the §3.3 sufficiency condition (see
+:mod:`repro.workloads.repair`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import ConfigurationError
+from repro.sim.rng import make_stream
+from repro.workloads.base import NamedSpec, Workload, make_workload
+from repro.workloads.repair import RepairReport, repair_population
+
+
+def random_population(
+    size: int,
+    rng: random.Random,
+    max_latency: int = 10,
+    min_fanout: int = 1,
+    max_fanout: int = 8,
+) -> List[NamedSpec]:
+    """One uncorrelated random draw of ``size`` consumer specs."""
+    if size < 1:
+        raise ConfigurationError("population must have at least one node")
+    if max_latency < 1:
+        raise ConfigurationError("max_latency must be >= 1")
+    if not 0 <= min_fanout <= max_fanout:
+        raise ConfigurationError("need 0 <= min_fanout <= max_fanout")
+    return [
+        (
+            f"r{index}",
+            NodeSpec(
+                latency=rng.randint(1, max_latency),
+                fanout=rng.randint(min_fanout, max_fanout),
+            ),
+        )
+        for index in range(size)
+    ]
+
+
+def rand_workload(
+    size: int = 120,
+    seed: int = 0,
+    source_fanout: int = 3,
+    max_latency: int = 10,
+    min_fanout: int = 1,
+    max_fanout: int = 8,
+) -> Tuple[Workload, RepairReport]:
+    """The Rand workload, repaired to sufficiency.
+
+    Returns the workload and the repair report (how many constraints had
+    to be relaxed to make the draw feasible).
+    """
+    rng = make_stream(seed, "workload/rand")
+    population = random_population(
+        size, rng, max_latency=max_latency,
+        min_fanout=min_fanout, max_fanout=max_fanout,
+    )
+    population, report = repair_population(source_fanout, population, rng)
+    workload = make_workload(
+        name=f"Rand(n={size},seed={seed})",
+        source_fanout=source_fanout,
+        population=population,
+    )
+    return workload, report

@@ -1,0 +1,77 @@
+"""Repairing random populations to meet the §3.3 sufficiency condition.
+
+§4 of the paper: "Unless otherwise mentioned, we implicitly assume that the
+nodes originally meet the sufficiency condition of existence of a LagOver."
+A purely random draw (Rand, BiCorr, BiUnCorr) generally does *not* — e.g.
+BiCorr can easily draw more latency-1 peers than the source has fanout —
+so generated populations are repaired before use: while the condition
+fails at some latency class ``l``, a random member of that class relaxes
+its constraint by one unit (it moves to class ``l+1``).
+
+This is the minimal relaxation that (a) terminates, because each step
+strictly shrinks the violated class and capacity only accumulates
+downstream, and (b) preserves the workload's character: fanouts, the
+population size, and the constraints of all non-excess peers are
+untouched.  The number of relaxations applied is reported so experiments
+can sanity-check how far a generated workload drifted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Tuple
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import ConfigurationError
+from repro.core.sufficiency import first_violating_latency
+from repro.workloads.base import NamedSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairReport:
+    """How much a population was relaxed to satisfy sufficiency."""
+
+    relaxations: int
+    max_latency_after: int
+
+
+def repair_population(
+    source_fanout: int,
+    population: List[NamedSpec],
+    rng: random.Random,
+    max_relaxations: int = 100_000,
+) -> Tuple[List[NamedSpec], RepairReport]:
+    """Relax latency constraints until the sufficiency condition holds.
+
+    Returns the repaired population (a new list; the input is not
+    modified) and a :class:`RepairReport`.
+    """
+    repaired = list(population)
+    relaxations = 0
+    while True:
+        specs = [spec for _, spec in repaired]
+        violated = first_violating_latency(source_fanout, specs)
+        if violated is None:
+            break
+        members = [
+            index
+            for index, (_, spec) in enumerate(repaired)
+            if spec.latency == violated
+        ]
+        index = rng.choice(members)
+        name, spec = repaired[index]
+        repaired[index] = (
+            name,
+            NodeSpec(latency=spec.latency + 1, fanout=spec.fanout),
+        )
+        relaxations += 1
+        if relaxations > max_relaxations:
+            raise ConfigurationError(
+                "sufficiency repair did not terminate; population has "
+                "pathological capacity (all fanouts zero?)"
+            )
+    max_latency = max((spec.latency for _, spec in repaired), default=0)
+    return repaired, RepairReport(
+        relaxations=relaxations, max_latency_after=max_latency
+    )

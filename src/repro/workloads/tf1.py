@@ -1,0 +1,55 @@
+"""The Tf1 workload: "use full available capacity" (§4.1).
+
+All nodes share one fanout ``F`` (the source included), and latency
+constraints are chosen so the population saturates the system's capacity
+exactly: ``F`` consumers with constraint 1, ``F**2`` with constraint 2,
+``F**3`` with constraint 3, and so on.  With the paper's ``F = 3`` the
+first four tiers hold 3 + 9 + 27 + 81 = 120 peers — precisely the
+population size of the §5.2 experiments.
+
+Tf1 is the adversarially *tight* feasible case: every node's constraint
+can only be met by using the full capacity of the tier above, so any
+misplacement must later be repaired by reconfiguration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import ConfigurationError
+from repro.workloads.base import NamedSpec, Workload, make_workload
+
+
+def tf1_population(size: int, fanout: int = 3) -> List[NamedSpec]:
+    """The first ``size`` nodes of the Tf1 tier structure.
+
+    Tier ``d`` (latency constraint ``d``) holds ``fanout**d`` nodes; nodes
+    are emitted tier by tier.  ``size`` need not land on a tier boundary —
+    a partial last tier is still feasible (it simply leaves capacity
+    unused).
+    """
+    if size < 1:
+        raise ConfigurationError("Tf1 population must have at least one node")
+    if fanout < 1:
+        raise ConfigurationError("Tf1 fanout must be >= 1")
+    population: List[NamedSpec] = []
+    latency = 1
+    remaining = size
+    while remaining > 0:
+        tier = min(fanout**latency, remaining)
+        for index in range(tier):
+            name = f"t{latency}n{index}"
+            population.append((name, NodeSpec(latency=latency, fanout=fanout)))
+        remaining -= tier
+        latency += 1
+    return population
+
+
+def tf1_workload(size: int = 120, fanout: int = 3) -> Workload:
+    """The Tf1 workload of §4.1/§5.2 (defaults: 120 peers, fanout 3)."""
+    return make_workload(
+        name=f"Tf1(n={size},F={fanout})",
+        source_fanout=fanout,
+        population=tf1_population(size, fanout),
+    )

@@ -1,0 +1,113 @@
+"""Tests for the statistics, series-analysis and reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.convergence_analysis import (
+    profile,
+    steady_state_mean,
+    time_to_fraction,
+    worst_dip,
+)
+from repro.analysis.reporting import ascii_table, banner, format_cell
+from repro.analysis.stats import MedianOfRuns, median, quantile, summarize
+
+
+class TestQuantiles:
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_quantile_bounds(self):
+        values = sorted([10, 20, 30, 40])
+        assert quantile(values, 0.0) == 10
+        assert quantile(values, 1.0) == 40
+        assert quantile(values, 0.5) == 25
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+    def test_summarize(self):
+        summary = summarize([4, 1, 3, 2])
+        assert summary.n == 4
+        assert summary.minimum == 1 and summary.maximum == 4
+        assert summary.mean == 2.5
+        assert summary.spread_ratio == 4.0
+
+    def test_spread_ratio_with_zero_min(self):
+        assert summarize([0, 5]).spread_ratio == math.inf
+
+
+class TestMedianOfRuns:
+    def test_all_converged(self):
+        runs = MedianOfRuns([10, 30, 20, 40, 50])
+        assert runs.median == 30
+        assert runs.failures == 0
+        assert runs.render() == "30"
+
+    def test_some_failures_reported(self):
+        runs = MedianOfRuns([10, None, 20, 30, None])
+        assert runs.failures == 2
+        assert runs.median == 20
+        assert "2/5 failed" in runs.render()
+
+    def test_majority_failure_is_stuck(self):
+        runs = MedianOfRuns([10, None, None, None, 20])
+        assert runs.median is None
+        assert runs.render().startswith("stuck")
+
+    def test_all_failed(self):
+        runs = MedianOfRuns([None, None])
+        assert runs.median is None
+        assert runs.converged_values == []
+
+
+class TestSeriesAnalysis:
+    def test_time_to_fraction(self):
+        series = [0.1, 0.5, 0.9, 1.0]
+        assert time_to_fraction(series, 0.5) == 2
+        assert time_to_fraction(series, 1.0) == 4
+        assert time_to_fraction(series, 1.0000) == 4
+        assert time_to_fraction([0.1], 0.9) is None
+
+    def test_time_to_fraction_validation(self):
+        with pytest.raises(ValueError):
+            time_to_fraction([0.5], 1.5)
+
+    def test_steady_state_and_dip(self):
+        series = [0.0, 0.2, 0.8, 1.0, 0.6, 1.0]
+        assert steady_state_mean(series, warmup=2) == pytest.approx(0.85)
+        assert worst_dip(series, warmup=2) == 0.6
+        with pytest.raises(ValueError):
+            steady_state_mean(series, warmup=10)
+
+    def test_profile(self):
+        p = profile([0.3, 0.6, 0.95, 1.0])
+        assert p.time_to_half == 2
+        assert p.time_to_90 == 3
+        assert p.time_to_all == 4
+        assert p.final == 1.0
+        with pytest.raises(ValueError):
+            profile([])
+
+
+class TestReporting:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(1.23456) == "1.23"
+        assert format_cell("x") == "x"
+        assert format_cell(7) == "7"
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned
+
+    def test_banner(self):
+        text = banner("Hello")
+        assert text.splitlines()[1] == "Hello"

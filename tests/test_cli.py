@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestBuild:
+    def test_build_converges_and_exits_zero(self, capsys):
+        code = main(
+            [
+                "build",
+                "--workload",
+                "Rand",
+                "--size",
+                "30",
+                "--seed",
+                "1",
+                "--max-rounds",
+                "2000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged" in out and "True" in out
+
+    def test_build_render_and_deliver(self, capsys):
+        code = main(
+            [
+                "build",
+                "--workload",
+                "Rand",
+                "--size",
+                "20",
+                "--seed",
+                "2",
+                "--render",
+                "--deliver",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delay=" in out
+        assert "delivery check" in out
+
+    def test_build_failure_exit_code(self, capsys):
+        code = main(
+            [
+                "build",
+                "--workload",
+                "Adversarial",
+                "--algorithm",
+                "greedy",
+                "--max-rounds",
+                "100",
+            ]
+        )
+        assert code == 1
+
+
+class TestWorkload:
+    def test_workload_description(self, capsys):
+        code = main(["workload", "--workload", "Tf1", "--size", "39"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sufficiency condition holds: True" in out
+        assert "latency l" in out
+
+
+class TestFeasibility:
+    def test_feasible_population(self, capsys):
+        code = main(
+            ["feasibility", "--source-fanout", "1", "1_1^1 2_1^2 3_2^5 4_1^4 5_0^4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feasible" in out
+        assert "depth" in out
+
+    def test_infeasible_population(self, capsys):
+        code = main(
+            ["feasibility", "--source-fanout", "1", "1_1^1 2_1^2 3_2^4 4_1^3 5_0^3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NO feasible configuration" in out
+
+
+class TestSaveLoadDot:
+    def test_workload_save_then_build_from_file(self, tmp_path, capsys):
+        path = tmp_path / "w.json"
+        assert main(
+            ["workload", "--workload", "Rand", "--size", "20", "--save", str(path)]
+        ) == 0
+        assert path.exists()
+        code = main(
+            ["build", "--workload-file", str(path), "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Rand(n=20" in out
+
+    def test_build_writes_dot(self, tmp_path, capsys):
+        dot_path = tmp_path / "overlay.dot"
+        code = main(
+            [
+                "build",
+                "--workload",
+                "Rand",
+                "--size",
+                "15",
+                "--seed",
+                "2",
+                "--dot",
+                str(dot_path),
+            ]
+        )
+        assert code == 0
+        content = dot_path.read_text()
+        assert content.startswith("digraph")
+        assert "->" in content
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["build", "--workload", "Zipf"])
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "figure99"])

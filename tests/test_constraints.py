@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.constraints (NodeSpec and the paper notation)."""
+
+import pytest
+
+from repro.core.constraints import (
+    NodeSpec,
+    parse_population,
+    parse_spec,
+    total_fanout,
+)
+from repro.core.errors import InvalidConstraintError
+
+
+class TestNodeSpec:
+    def test_valid_spec_roundtrips_fields(self):
+        s = NodeSpec(latency=3, fanout=2)
+        assert s.latency == 3
+        assert s.fanout == 2
+
+    def test_zero_fanout_is_legal(self):
+        assert NodeSpec(latency=3, fanout=0).fanout == 0
+
+    def test_latency_zero_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            NodeSpec(latency=0, fanout=1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            NodeSpec(latency=-1, fanout=1)
+
+    def test_negative_fanout_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            NodeSpec(latency=1, fanout=-1)
+
+    def test_non_integer_latency_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            NodeSpec(latency=1.5, fanout=1)
+
+    def test_bool_rejected_despite_being_int_subclass(self):
+        with pytest.raises(InvalidConstraintError):
+            NodeSpec(latency=True, fanout=1)
+
+    def test_specs_are_hashable_and_comparable(self):
+        a = NodeSpec(latency=1, fanout=2)
+        b = NodeSpec(latency=1, fanout=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert NodeSpec(latency=1, fanout=1) < NodeSpec(latency=2, fanout=0)
+
+    def test_label_uses_paper_notation(self):
+        assert NodeSpec(latency=1, fanout=2).label("a") == "a_2^1"
+
+
+class TestParsing:
+    def test_parse_spec_paper_notation(self):
+        name, s = parse_spec("a_2^1")
+        assert name == "a"
+        assert s == NodeSpec(latency=1, fanout=2)
+
+    def test_parse_spec_strips_whitespace(self):
+        assert parse_spec("  j_2^4 ")[0] == "j"
+
+    def test_parse_spec_rejects_garbage(self):
+        with pytest.raises(InvalidConstraintError):
+            parse_spec("a^1_2")
+
+    def test_parse_spec_rejects_missing_latency(self):
+        with pytest.raises(InvalidConstraintError):
+            parse_spec("a_2")
+
+    def test_parse_population_fig1_consumers(self):
+        text = "a_2^1, b_2^3, c_2^3, d_2^1, e_2^2, f_2^3, g_2^3, h_2^3, i_2^3, j_2^4"
+        population = parse_population(text)
+        assert len(population) == 10
+        assert population[0] == ("a", NodeSpec(latency=1, fanout=2))
+        assert population[-1] == ("j", NodeSpec(latency=4, fanout=2))
+
+    def test_parse_population_whitespace_separated(self):
+        assert len(parse_population("a_1^1 b_1^2")) == 2
+
+    def test_label_parse_roundtrip(self):
+        original = NodeSpec(latency=7, fanout=4)
+        name, parsed = parse_spec(original.label("x9"))
+        assert name == "x9"
+        assert parsed == original
+
+
+def test_total_fanout_sums():
+    specs = [NodeSpec(latency=1, fanout=2), NodeSpec(latency=2, fanout=0)]
+    assert total_fanout(specs) == 2
+    assert total_fanout([]) == 0

@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.convergence (quality measures)."""
+
+from repro.core.convergence import (
+    depth_histogram,
+    latency_gradation_violations,
+    measure,
+    violated_nodes,
+)
+from repro.core.tree import Overlay
+
+from tests.conftest import build_chain, spec
+
+
+def small_tree():
+    """source(f=2) <- a(l1) <- b(l3); c(l2) parentless; d offline."""
+    overlay = Overlay(source_fanout=2)
+    a = overlay.add_consumer(spec(1, 2), name="a")
+    b = overlay.add_consumer(spec(3, 2), name="b")
+    overlay.add_consumer(spec(2, 1), name="c")
+    d = overlay.add_consumer(spec(2, 1), name="d")
+    build_chain(overlay, a, b)
+    overlay.go_offline(d)
+    return overlay
+
+
+class TestMeasure:
+    def test_counts(self):
+        quality = measure(small_tree())
+        assert quality.online == 3
+        assert quality.rooted == 2
+        assert quality.satisfied == 2
+        assert quality.fragments == 2  # source tree + c
+        assert quality.max_depth == 2
+        assert quality.used_source_fanout == 1
+
+    def test_satisfied_fraction_and_converged(self):
+        quality = measure(small_tree())
+        assert quality.satisfied_fraction == 2 / 3
+        assert not quality.converged
+
+    def test_mean_slack(self):
+        # a: l=1 at depth 1 (slack 0); b: l=3 at depth 2 (slack 1).
+        assert measure(small_tree()).mean_slack == 0.5
+
+    def test_empty_population(self):
+        quality = measure(Overlay(source_fanout=1))
+        assert quality.converged
+        assert quality.satisfied_fraction == 1.0
+        assert quality.mean_slack == 0.0
+
+
+class TestHistogramsAndViolations:
+    def test_depth_histogram(self):
+        assert depth_histogram(small_tree()) == {1: 1, 2: 1}
+
+    def test_violated_nodes(self):
+        overlay = small_tree()
+        names = {n.name for n in violated_nodes(overlay)}
+        assert names == {"c"}  # unrooted; a and b satisfied, d offline
+
+    def test_gradation_violations_empty_for_ordered_tree(self):
+        assert latency_gradation_violations(small_tree()) == []
+
+    def test_gradation_violation_detected(self):
+        overlay = Overlay(source_fanout=1)
+        lax = overlay.add_consumer(spec(9, 1), name="lax")
+        strict = overlay.add_consumer(spec(2, 1), name="strict")
+        build_chain(overlay, lax, strict)
+        violations = latency_gradation_violations(overlay)
+        assert [n.name for n in violations] == ["strict"]
+
+    def test_source_edges_never_count_as_violations(self):
+        overlay = Overlay(source_fanout=1)
+        lax = overlay.add_consumer(spec(9, 1), name="lax")
+        overlay.attach(lax, overlay.source)
+        assert latency_gradation_violations(overlay) == []

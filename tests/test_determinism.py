@@ -1,0 +1,70 @@
+"""Cross-process determinism guards.
+
+Simulation results must depend only on the configured seed — never on
+the interpreter's hash randomization (``PYTHONHASHSEED``), which changes
+per process and silently reorders sets and dicts keyed by strings.  A
+substrate that iterates an unordered collection while consuming an RNG
+would pass every in-process test and still be irreproducible; this guard
+runs the same simulations in subprocesses with adversarially different
+hash seeds and compares exact outcomes.
+"""
+
+import subprocess
+import sys
+
+SCRIPT = r"""
+import json
+from repro.sim.asynchrony import AsynchronyConfig
+from repro.sim.churn import ChurnConfig
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.workloads import make
+
+out = []
+for family, realization, oracle in (
+    ("BiCorr", "omniscient", "random-delay"),
+    ("Rand", "dht", "random-delay"),
+    ("Rand", "random-walk", "random"),
+):
+    result = run_simulation(
+        make(family, size=40, seed=5),
+        SimulationConfig(
+            algorithm="hybrid",
+            oracle=oracle,
+            oracle_realization=realization,
+            seed=5,
+            max_rounds=1500,
+            churn=ChurnConfig(0.02, 0.3),
+            asynchrony=AsynchronyConfig(1, 3),
+            stop_at_convergence=False,
+        ),
+    )
+    out.append(
+        [
+            result.rounds_run,
+            result.attaches,
+            result.detaches,
+            result.departures,
+            round(sum(result.satisfied_series), 6),
+        ]
+    )
+print(json.dumps(out))
+"""
+
+
+def run_with_hashseed(seed: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout.strip()
+
+
+def test_results_independent_of_hash_randomization():
+    a = run_with_hashseed("0")
+    b = run_with_hashseed("12345")
+    c = run_with_hashseed("random")
+    assert a == b == c

@@ -1,0 +1,159 @@
+"""Tests for the distributed oracle realizations (§2.1.4's sketch)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.tree import Overlay
+from repro.oracles.distributed import (
+    DhtDirectoryOracle,
+    RandomWalkOracle,
+    realize_oracle,
+)
+from repro.sim.churn import ChurnConfig
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.workloads import make as make_workload
+
+from tests.conftest import spec
+
+
+def populated_overlay(n=20):
+    overlay = Overlay(source_fanout=3)
+    for i in range(n):
+        overlay.add_consumer(spec(1 + i % 5 + 1, 2), name=f"n{i}")
+    return overlay
+
+
+class TestRandomWalkOracle:
+    def test_samples_live_consumers(self):
+        overlay = populated_overlay()
+        oracle = RandomWalkOracle(overlay, random.Random(1))
+        enquirer = overlay.node(1)
+        seen = set()
+        for now in range(1, 60):
+            oracle.on_round(now)
+            node = oracle.sample(enquirer)
+            if node is not None:
+                assert node.online and node is not enquirer
+                seen.add(node.node_id)
+        assert len(seen) > 5  # walks reach a spread of peers
+
+    def test_tracks_churn(self):
+        overlay = populated_overlay(10)
+        oracle = RandomWalkOracle(overlay, random.Random(2))
+        victim = overlay.node(3)
+        overlay.go_offline(victim)
+        oracle.on_round(1)
+        enquirer = overlay.node(1)
+        for _ in range(100):
+            node = oracle.sample(enquirer)
+            assert node is not victim
+        overlay.go_online(victim)
+        oracle.on_round(2)
+        assert victim.node_id in oracle.gossip.members()
+
+
+class TestDhtDirectoryOracle:
+    def test_delay_filter_applies_to_registered_state(self):
+        overlay = populated_overlay(6)
+        oracle = DhtDirectoryOracle(overlay, random.Random(1), filter_mode="delay")
+        oracle.on_round(1)
+        enquirer = overlay.add_consumer(spec(2, 1), name="enq")
+        for _ in range(30):
+            node = oracle.sample(enquirer)
+            if node is not None:
+                # Registered delay was the potential delay 1 (< 2).
+                assert overlay.delay_at(node) <= 2
+
+    def test_staleness_window(self):
+        """A node whose true state changed is still served with its old
+        record until it re-registers."""
+        overlay = Overlay(source_fanout=2)
+        a = overlay.add_consumer(spec(1, 1), name="a")
+        b = overlay.add_consumer(spec(9, 1), name="b")
+        oracle = DhtDirectoryOracle(
+            overlay, random.Random(1), filter_mode="capacity", refresh_interval=10
+        )
+        oracle.on_round(1)  # both register with free fanout
+        overlay.attach(a, overlay.source)
+        overlay.attach(b, a)  # a's fanout now saturated
+        enquirer = overlay.add_consumer(spec(9, 0), name="e")
+        oracle.on_round(2)  # e registers; a/b records still stale
+        picks = {oracle.sample(enquirer).name for _ in range(40)}
+        assert "a" in picks  # stale record says a still has capacity
+
+    def test_offline_candidate_counts_as_stale_miss(self):
+        overlay = populated_overlay(4)
+        oracle = DhtDirectoryOracle(overlay, random.Random(1), filter_mode="random")
+        oracle.on_round(1)
+        victim = overlay.node(2)
+        overlay.go_offline(victim)
+        enquirer = overlay.node(1)
+        for _ in range(60):
+            node = oracle.sample(enquirer)
+            assert node is not victim
+        # At least one sample should have hit the stale record.
+        assert oracle.stale_hits > 0
+
+    def test_invalid_filter_rejected(self):
+        overlay = populated_overlay(3)
+        with pytest.raises(ConfigurationError):
+            DhtDirectoryOracle(overlay, random.Random(1), filter_mode="psychic")
+
+
+class TestRealizeOracle:
+    def test_realize_all_modes(self):
+        overlay = populated_overlay(5)
+        rng = random.Random(1)
+        assert realize_oracle("omniscient", "random-delay", overlay, rng)
+        assert realize_oracle("dht", "random-delay", overlay, rng)
+        assert realize_oracle("random-walk", "random", overlay, rng)
+
+    def test_random_walk_only_realizes_random(self):
+        overlay = populated_overlay(5)
+        with pytest.raises(ConfigurationError):
+            realize_oracle("random-walk", "random-delay", overlay, random.Random(1))
+
+    def test_unknown_realization_rejected(self):
+        overlay = populated_overlay(5)
+        with pytest.raises(ConfigurationError):
+            realize_oracle("telepathy", "random", overlay, random.Random(1))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "realization,oracle",
+        [("dht", "random-delay"), ("random-walk", "random")],
+    )
+    def test_construction_converges_with_distributed_oracles(
+        self, realization, oracle
+    ):
+        workload = make_workload("Rand", size=50, seed=2)
+        result = run_simulation(
+            workload,
+            SimulationConfig(
+                algorithm="hybrid",
+                oracle=oracle,
+                oracle_realization=realization,
+                seed=2,
+                max_rounds=4000,
+            ),
+        )
+        assert result.converged
+
+    def test_dht_oracle_under_churn(self):
+        workload = make_workload("Rand", size=40, seed=3)
+        result = run_simulation(
+            workload,
+            SimulationConfig(
+                algorithm="greedy",
+                oracle="random-delay",
+                oracle_realization="dht",
+                seed=3,
+                max_rounds=400,
+                churn=ChurnConfig(0.02, 0.2),
+                stop_at_convergence=False,
+            ),
+        )
+        assert result.rounds_run == 400  # no crashes under churn

@@ -1,0 +1,82 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES / name
+    assert script.exists(), f"missing example {name}"
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "construction converged" in out
+    assert "100% of consumers" in out
+
+
+def test_toy_evolution():
+    out = run_example("toy_evolution.py")
+    assert "--- round 1 ---" in out
+    assert "converged in" in out
+
+
+def test_rss_dissemination():
+    out = run_example("rss_dissemination.py")
+    assert "LagOver built" in out
+    assert "RSS round-trip" in out
+    assert "direct polling" in out
+
+
+def test_churn_resilience():
+    out = run_example("churn_resilience.py")
+    assert "departures" in out
+    assert "satisfaction timeline" in out
+
+
+def test_oracle_comparison():
+    out = run_example("oracle_comparison.py")
+    assert "O3" in out
+    assert "Random-Delay" in out
+
+
+def test_extensions_tour():
+    out = run_example("extensions_tour.py")
+    assert "Locality-gradated" in out
+    assert "Multi-feed reuse" in out
+    assert "Multipath delivery" in out
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.experiments.figure2",
+        "repro.experiments.figure3",
+        "repro.experiments.figure4",
+        "repro.experiments.asynchrony",
+        "repro.experiments.adversarial",
+        "repro.experiments.baselines_experiment",
+        "repro.experiments.ablations",
+        "repro.experiments.extensions",
+    ],
+)
+def test_experiment_modules_importable(module):
+    """The experiment CLIs must at least import and expose main()."""
+    import importlib
+
+    mod = importlib.import_module(module)
+    assert callable(mod.main)

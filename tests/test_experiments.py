@@ -1,0 +1,119 @@
+"""Tests for the experiment harness (small-scale, shape-level)."""
+
+from repro.analysis.stats import MedianOfRuns
+from repro.experiments import ExperimentProfile, run_repeats, run_single
+from repro.experiments import adversarial, figure2, figure3, figure4
+from repro.experiments import baselines_experiment as bx
+from repro.experiments.ablations import (
+    EagerGreedyConstruction,
+    EagerHybridConstruction,
+    maintenance_comparison,
+    oracle_realization_comparison,
+    timeout_sweep,
+)
+from repro.sim.runner import ALGORITHMS, SimulationConfig
+
+TINY = ExperimentProfile(name="tiny", population=25, repeats=2, max_rounds=1200)
+
+
+class TestRunnerHelpers:
+    def test_run_repeats_counts_runs(self):
+        runs = run_repeats(
+            "Rand",
+            SimulationConfig(max_rounds=1200),
+            population=25,
+            repeats=3,
+        )
+        assert isinstance(runs, MedianOfRuns)
+        assert runs.runs == 3
+        assert runs.failures == 0
+
+    def test_run_single_returns_result(self):
+        result = run_single("Rand", SimulationConfig(max_rounds=1200), 25, seed=1)
+        assert result.converged
+
+    def test_fixed_workload_mode(self):
+        fixed = run_repeats(
+            "Rand",
+            SimulationConfig(max_rounds=1200),
+            population=25,
+            repeats=2,
+            vary_workload=False,
+        )
+        assert fixed.runs == 2
+
+
+class TestFigureModules:
+    def test_figure2_summaries(self):
+        summaries = figure2.run(TINY, repeats=4, families=("Rand",))
+        assert set(summaries) == {"Rand"}
+        assert summaries["Rand"].n == 4
+        assert figure2.rows(summaries)
+
+    def test_figure3_grid_keys(self):
+        grid = figure3.run(
+            TINY, families=("Rand",), oracles=("random", "random-delay")
+        )
+        assert set(grid) == {("Rand", "random"), ("Rand", "random-delay")}
+        table = figure3.rows(
+            grid, families=("Rand",), oracles=("random", "random-delay")
+        )
+        assert table[0][0] == "Rand"
+
+    def test_figure4_grid(self):
+        grid = figure4.run(TINY)
+        assert set(grid) == {
+            ("greedy", "static"),
+            ("greedy", "churn"),
+            ("hybrid", "static"),
+            ("hybrid", "churn"),
+        }
+        assert len(figure4.rows(grid)) == 2
+
+    def test_adversarial_outcome(self):
+        outcome = adversarial.run(seeds=4, max_rounds=500)
+        assert outcome.feasible and not outcome.sufficiency
+        assert outcome.greedy_converged == 0
+
+    def test_polling_sweep_rows(self):
+        rows = bx.polling_sweep(populations=(10, 20), duration=20.0)
+        assert len(rows) == 2
+        assert rows[0][0] == 10
+
+    def test_feedtree_comparison_rows(self):
+        rows = bx.feedtree_comparison(population=30, infrastructure_peers=10)
+        assert rows[0][0] == "FeedTree/Scribe"
+        assert rows[1][0] == "LagOver (hybrid)"
+
+
+class TestAblations:
+    def test_eager_variants_registered(self):
+        assert ALGORITHMS["greedy-eager"] is EagerGreedyConstruction
+        assert ALGORITHMS["hybrid-eager"] is EagerHybridConstruction
+
+    def test_eager_variants_run(self):
+        result = run_single(
+            "Rand",
+            SimulationConfig(algorithm="greedy-eager", max_rounds=1500),
+            25,
+            seed=2,
+        )
+        assert result.rounds_run > 0
+
+    def test_maintenance_comparison_rows(self):
+        rows = maintenance_comparison(TINY, family="Rand")
+        assert [row[0] for row in rows] == [
+            "greedy",
+            "greedy-eager",
+            "hybrid",
+            "hybrid-eager",
+        ]
+
+    def test_timeout_sweep_rows(self):
+        rows = timeout_sweep(TINY, family="Rand", timeouts=(2, 8))
+        assert [row[0] for row in rows] == [2, 8]
+
+    def test_realization_rows(self):
+        rows = oracle_realization_comparison(TINY, family="Rand")
+        assert len(rows) == 5
+        assert all(row[3] == 0 for row in rows)  # all converge at tiny scale

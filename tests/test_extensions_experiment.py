@@ -1,0 +1,28 @@
+"""Small-scale tests of the full-scale extension experiment tables."""
+
+from repro.experiments import extensions
+
+
+class TestExtensionTables:
+    def test_locality_table_prints(self, capsys):
+        extensions.locality_table(population=30, seeds=(1,))
+        out = capsys.readouterr().out
+        assert "locality-delay" in out
+        assert "random-delay" in out
+
+    def test_multifeed_table_prints(self, capsys):
+        extensions.multifeed_table(consumers=25, seeds=(4,))
+        out = capsys.readouterr().out
+        assert "reuse-biased" in out
+        assert "independent" in out
+
+    def test_multipath_table_prints(self, capsys):
+        extensions.multipath_table(population=30, seed=2)
+        out = capsys.readouterr().out
+        assert "surviving descriptions" in out
+
+    def test_live_delivery_table_prints(self, capsys):
+        extensions.live_delivery_table(population=25, seed=1)
+        out = capsys.readouterr().out
+        assert "on-time" in out
+        assert "departures" in out

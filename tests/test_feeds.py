@@ -1,0 +1,162 @@
+"""Unit and integration tests for the feed substrate."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.tree import Overlay
+from repro.feeds.client import FeedConsumer
+from repro.feeds.dissemination import LagOverDissemination, disseminate
+from repro.feeds.items import FeedItem
+from repro.feeds.rss import parse_rss, render_rss
+from repro.feeds.source import FeedSource, periodic, poisson
+from repro.sim.runner import Simulation, SimulationConfig
+from repro.workloads import make as make_workload
+
+from tests.conftest import build_chain, spec
+
+
+class TestFeedSource:
+    def test_periodic_publishing(self):
+        source = FeedSource(process=periodic(2.0))
+        fresh = source.advance_to(10.0)
+        assert len(fresh) == 5
+        assert [item.seq for item in fresh] == [1, 2, 3, 4, 5]
+
+    def test_poisson_publishing_rate(self):
+        source = FeedSource(process=poisson(2.0, random.Random(1)))
+        source.advance_to(500.0)
+        # ~1000 expected; loose bounds.
+        assert 800 < source.latest_seq < 1200
+
+    def test_pull_returns_only_new_items(self):
+        source = FeedSource(process=periodic(1.0))
+        items, seq = source.pull(3.0)
+        assert [i.seq for i in items] == [1, 2, 3]
+        items, _ = source.pull(5.0, since_seq=seq)
+        assert [i.seq for i in items] == [4, 5]
+
+    def test_capacity_rejects_excess_requests(self):
+        source = FeedSource(process=periodic(1.0), capacity_per_unit=2)
+        assert source.pull(0.5) is not None
+        assert source.pull(0.6) is not None
+        assert source.pull(0.7) is None  # third request in unit window
+        assert source.pull(1.2) is not None  # new window
+        assert source.requests_rejected == 1
+
+    def test_rejection_rate(self):
+        source = FeedSource(capacity_per_unit=1)
+        source.pull(0.1)
+        source.pull(0.2)
+        assert source.rejection_rate == 0.5
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            periodic(0)
+        with pytest.raises(ConfigurationError):
+            poisson(0, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            FeedSource(capacity_per_unit=0)
+
+
+class TestFeedConsumer:
+    def test_delivery_dedupes(self):
+        consumer = FeedConsumer(1)
+        item = FeedItem(seq=1, title="x", published_at=0.0)
+        assert consumer.deliver([item], 1.0) == [item]
+        assert consumer.deliver([item], 2.0) == []
+        assert consumer.arrivals[1].arrived_at == 1.0
+
+    def test_staleness(self):
+        consumer = FeedConsumer(1)
+        consumer.deliver([FeedItem(seq=1, title="x", published_at=2.0)], 5.0)
+        assert consumer.worst_staleness() == pytest.approx(3.0)
+
+
+class TestRssRoundtrip:
+    def test_render_parse_roundtrip(self):
+        items = [
+            FeedItem(seq=1, title="first", published_at=1.5),
+            FeedItem(seq=2, title="second", published_at=2.5),
+        ]
+        document = render_rss("feed-7", items)
+        parsed = parse_rss(document)
+        assert parsed == items
+
+    def test_rendered_is_newest_first(self):
+        items = [
+            FeedItem(seq=1, title="first", published_at=1.0),
+            FeedItem(seq=2, title="second", published_at=2.0),
+        ]
+        document = render_rss("f", items)
+        assert document.index("second") < document.index("first")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_rss("not xml at all <")
+        with pytest.raises(ConfigurationError):
+            parse_rss("<html></html>")
+
+
+class TestDissemination:
+    def _chain_overlay(self):
+        overlay = Overlay(source_fanout=1)
+        a = overlay.add_consumer(spec(1, 1), name="a")
+        b = overlay.add_consumer(spec(2, 1), name="b")
+        c = overlay.add_consumer(spec(3, 1), name="c")
+        build_chain(overlay, a, b, c)
+        return overlay
+
+    def test_chain_staleness_respects_depth_bounds(self):
+        overlay = self._chain_overlay()
+        report = disseminate(overlay, duration=80.0, seed=1)
+        assert report.satisfied_fraction == 1.0
+        by_depth = {c.depth: c for c in report.consumers}
+        # Worst staleness grows with depth but stays within DelayAt units.
+        assert by_depth[1].worst_staleness <= 1.0
+        assert by_depth[2].worst_staleness <= 2.0
+        assert by_depth[3].worst_staleness <= 3.0
+        assert by_depth[2].worst_staleness > by_depth[1].worst_staleness
+
+    def test_all_old_items_delivered_everywhere(self):
+        overlay = self._chain_overlay()
+        report = disseminate(overlay, duration=50.0, seed=2)
+        for consumer in report.consumers:
+            assert consumer.received >= consumer.expected > 0
+
+    def test_misplaced_node_detected_by_staleness(self):
+        """A node deeper than its constraint measurably misses its promise."""
+        overlay = Overlay(source_fanout=1)
+        a = overlay.add_consumer(spec(1, 1), name="a")
+        b = overlay.add_consumer(spec(1, 1), name="b")  # l=1 at depth 2
+        build_chain(overlay, a, b)
+        report = disseminate(overlay, duration=80.0, seed=3)
+        rows = {c.node_id: c for c in report.consumers}
+        assert rows[a.node_id].within_constraint
+        assert not rows[b.node_id].within_constraint
+
+    def test_offline_subtree_receives_nothing(self):
+        overlay = self._chain_overlay()
+        c = overlay.node(3)
+        overlay.go_offline(c)
+        report = disseminate(overlay, duration=30.0, seed=4)
+        assert report.consumers[2].received == 0
+
+    def test_end_to_end_constructed_overlay_delivers(self):
+        workload = make_workload("Rand", size=50, seed=3)
+        simulation = Simulation(
+            workload, SimulationConfig(algorithm="greedy", seed=3)
+        )
+        simulation.run()
+        assert simulation.overlay.is_converged()
+        report = disseminate(simulation.overlay, duration=60.0, seed=3)
+        assert report.satisfied_fraction == 1.0
+        assert report.worst_violation() <= 0.0
+
+    def test_invalid_hop_delay_rejected(self):
+        overlay = self._chain_overlay()
+        with pytest.raises(ConfigurationError):
+            LagOverDissemination(
+                overlay, FeedSource(), random.Random(1), hop_delay_range=(0.5, 1.5)
+            )

@@ -1,0 +1,129 @@
+"""Unit tests for the gossip substrate (views, walkers, overlay)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.gossip.membership import MembershipViews
+from repro.gossip.random_walk import RandomWalkSampler
+from repro.gossip.unstructured import UnstructuredOverlay
+
+
+class TestMembershipViews:
+    def _views(self, n=30, view_size=5, seed=1):
+        views = MembershipViews(view_size=view_size, rng=random.Random(seed))
+        views.bootstrap([f"m{i}" for i in range(n)])
+        return views
+
+    def test_bootstrap_view_sizes(self):
+        views = self._views()
+        for member in views.members():
+            view = views.view(member)
+            assert 1 <= len(view) <= 5
+            assert member not in view
+
+    def test_small_population_views(self):
+        views = MembershipViews(view_size=8, rng=random.Random(1))
+        views.bootstrap(["a", "b"])
+        assert views.view("a") == ["b"]
+
+    def test_add_member_becomes_reachable(self):
+        views = self._views()
+        views.add_member("newbie")
+        reachable = any(
+            "newbie" in views.view(member)
+            for member in views.members()
+            if member != "newbie"
+        )
+        assert reachable
+        assert views.view("newbie")
+
+    def test_remove_member_forgotten_everywhere(self):
+        views = self._views()
+        views.remove_member("m0")
+        assert "m0" not in views.members()
+        for member in views.members():
+            assert "m0" not in views.view(member)
+
+    def test_shuffle_preserves_view_bounds(self):
+        views = self._views()
+        for _ in range(20):
+            views.shuffle_round()
+        for member in views.members():
+            view = views.view(member)
+            assert len(view) <= 5
+            assert member not in view
+
+    def test_shuffle_mixes_views(self):
+        views = self._views(n=40, view_size=4, seed=2)
+        before = {m: set(views.view(m)) for m in views.members()}
+        for _ in range(10):
+            views.shuffle_round()
+        changed = sum(
+            1 for m in views.members() if set(views.view(m)) != before[m]
+        )
+        assert changed > 20
+
+    def test_invalid_view_size(self):
+        with pytest.raises(ConfigurationError):
+            MembershipViews(view_size=0, rng=random.Random(1))
+
+
+class TestRandomWalk:
+    def test_walks_land_roughly_uniformly(self):
+        rng = random.Random(3)
+        views = MembershipViews(view_size=6, rng=rng)
+        members = [f"m{i}" for i in range(25)]
+        views.bootstrap(members)
+        for _ in range(10):
+            views.shuffle_round()
+        sampler = RandomWalkSampler(views, rng, walk_length=8)
+        landings = Counter()
+        for _ in range(2000):
+            landed = sampler.walk("m0")
+            if landed is not None:
+                landings[landed] += 1
+        # Every other member should be reachable...
+        assert len(landings) == 24
+        # ...and no member should dominate pathologically.
+        assert max(landings.values()) < 10 * (2000 / 24)
+
+    def test_walk_never_returns_start(self):
+        rng = random.Random(4)
+        views = MembershipViews(view_size=4, rng=rng)
+        views.bootstrap([f"m{i}" for i in range(10)])
+        sampler = RandomWalkSampler(views, rng)
+        for _ in range(200):
+            assert sampler.walk("m3") != "m3"
+
+    def test_invalid_walk_length(self):
+        views = MembershipViews(view_size=4, rng=random.Random(1))
+        with pytest.raises(ConfigurationError):
+            RandomWalkSampler(views, random.Random(1), walk_length=0)
+
+
+class TestUnstructuredOverlay:
+    def test_sample_returns_live_members(self):
+        overlay = UnstructuredOverlay(
+            members=list(range(20)), rng=random.Random(5)
+        )
+        for _ in range(100):
+            overlay.tick()
+            sample = overlay.sample(0)
+            if sample is not None:
+                assert sample in overlay.members()
+                assert sample != 0
+
+    def test_join_leave_cycle(self):
+        overlay = UnstructuredOverlay(
+            members=list(range(10)), rng=random.Random(6)
+        )
+        overlay.leave(3)
+        assert 3 not in overlay.members()
+        overlay.join(3)
+        assert 3 in overlay.members()
+        for _ in range(50):
+            overlay.tick()
+            assert overlay.sample(3) != 3

@@ -1,0 +1,171 @@
+"""Behavioural tests for the Greedy construction algorithm (§3.1)."""
+
+import random
+
+import pytest
+
+from repro.core.greedy import GreedyConstruction
+from repro.core.protocol import ProtocolConfig
+from repro.core.tree import Overlay
+from repro.oracles.base import RandomDelayOracle
+
+from tests.conftest import spec
+
+
+def make(overlay, timeout=4, seed=7):
+    oracle = RandomDelayOracle(overlay, random.Random(seed))
+    return GreedyConstruction(overlay, oracle, ProtocolConfig(timeout=timeout))
+
+
+@pytest.fixture
+def overlay():
+    return Overlay(source_fanout=2)
+
+
+def add(overlay, name, latency, fanout):
+    return overlay.add_consumer(spec(latency, fanout), name=name)
+
+
+class TestGroupFormation:
+    def test_stricter_latency_becomes_parent(self, overlay):
+        algo = make(overlay)
+        strict = add(overlay, "s", 2, 1)
+        lax = add(overlay, "l", 5, 1)
+        algo._interact(strict, lax)
+        assert lax.parent is strict
+
+    def test_tie_prefers_larger_fanout(self, overlay):
+        algo = make(overlay)
+        big = add(overlay, "big", 3, 4)
+        small = add(overlay, "small", 3, 1)
+        algo._interact(small, big)
+        assert small.parent is big
+
+    def test_group_formation_respects_child_latency(self, overlay):
+        algo = make(overlay)
+        a = add(overlay, "a", 1, 2)
+        b = add(overlay, "b", 1, 1)
+        # b under a would have potential delay 2 > l_b = 1: no edge formed.
+        algo._interact(b, a)
+        assert b.parent is None and a.parent is None
+
+    def test_equal_constraints_reversed_when_parent_full(self, overlay):
+        algo = make(overlay)
+        a = add(overlay, "a", 3, 1)
+        b = add(overlay, "b", 3, 1)
+        filler = add(overlay, "f", 9, 0)
+        overlay.attach(filler, a)  # a's single slot full
+        algo._interact(b, a)
+        # a could not take b; equal latency lets b take a (with subtree).
+        assert a.parent is b
+
+    def test_invariant_holds_after_formation(self, overlay):
+        algo = make(overlay)
+        strict = add(overlay, "s", 2, 1)
+        lax = add(overlay, "l", 5, 1)
+        algo._interact(lax, strict)
+        assert strict.parent is None
+        assert lax.parent is strict
+
+
+class TestInteractionWithParented:
+    def test_attaches_under_laxer_parented_node(self, overlay):
+        algo = make(overlay)
+        a = add(overlay, "a", 1, 1)
+        overlay.attach(a, overlay.source)
+        i = add(overlay, "i", 3, 1)
+        algo._interact(i, a)
+        assert i.parent is a
+
+    def test_displaces_child_when_parent_full(self, overlay):
+        algo = make(overlay)
+        a = add(overlay, "a", 1, 1)
+        m = add(overlay, "m", 4, 1)
+        overlay.attach(a, overlay.source)
+        overlay.attach(m, a)
+        i = add(overlay, "i", 2, 1)
+        algo._interact(i, a)
+        assert i.parent is a
+        assert m.parent is i
+
+    def test_splices_above_laxer_node(self, overlay):
+        algo = make(overlay)
+        a = add(overlay, "a", 1, 1)
+        j = add(overlay, "j", 5, 1)
+        overlay.attach(a, overlay.source)
+        overlay.attach(j, a)
+        i = add(overlay, "i", 2, 1)
+        algo._interact(i, j)
+        assert i.parent is a and j.parent is i
+
+    def test_referral_moves_upstream_on_failure(self, overlay):
+        algo = make(overlay)
+        a = add(overlay, "a", 1, 1)
+        j = add(overlay, "j", 2, 1)
+        overlay.attach(a, overlay.source)
+        overlay.attach(j, a)
+        i = add(overlay, "i", 2, 0)
+        # i cannot attach under j (delay 3 > 2), cannot displace (no slot at
+        # j), and insertion above j needs j at delay 3 > l_j: referred to a.
+        algo._interact(i, j)
+        assert i.parent is None
+        assert i.referral is a
+
+    def test_greedy_invariant_never_violated(self, overlay):
+        """Drive a full random construction; every consumer edge must obey
+        l_parent <= l_child at every round."""
+        rng = random.Random(3)
+        overlay = Overlay(source_fanout=2)
+        for k in range(25):
+            overlay.add_consumer(spec(rng.randint(1, 6), rng.randint(0, 3)), name=f"n{k}")
+        algo = make(overlay, seed=11)
+        for _ in range(300):
+            for node in list(overlay.online_consumers):
+                if node.parent is None:
+                    algo.step(node)
+                else:
+                    algo.maintain(node)
+            for node in overlay.online_consumers:
+                parent = node.parent
+                if parent is not None and not parent.is_source:
+                    assert parent.latency <= node.latency
+            overlay.check_integrity()
+
+
+class TestSourceContact:
+    def test_timeout_attaches_at_source(self, overlay):
+        algo = make(overlay, timeout=2)
+        i = add(overlay, "i", 1, 1)
+        for _ in range(3):
+            algo.step(i)
+        assert i.parent is overlay.source
+
+    def test_source_displacement_by_stricter(self, overlay):
+        algo = make(overlay)
+        lax1 = add(overlay, "l1", 5, 1)
+        lax2 = add(overlay, "l2", 4, 1)
+        overlay.attach(lax1, overlay.source)
+        overlay.attach(lax2, overlay.source)
+        i = add(overlay, "i", 1, 1)
+        assert algo.contact_source(i)
+        assert i.parent is overlay.source
+        # The laxest direct child was displaced and adopted by i.
+        assert lax1.parent is i
+
+    def test_source_contact_fails_when_all_stricter(self, overlay):
+        algo = make(overlay)
+        s1 = add(overlay, "s1", 1, 1)
+        s2 = add(overlay, "s2", 1, 1)
+        overlay.attach(s1, overlay.source)
+        overlay.attach(s2, overlay.source)
+        i = add(overlay, "i", 2, 1)
+        assert not algo.contact_source(i)
+        assert i.parent is None
+
+    def test_step_skips_parented_and_source(self, overlay):
+        algo = make(overlay)
+        a = add(overlay, "a", 1, 1)
+        overlay.attach(a, overlay.source)
+        algo.step(a)  # no-op
+        algo.step(overlay.source)  # no-op
+        assert a.parent is overlay.source

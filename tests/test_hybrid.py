@@ -1,0 +1,199 @@
+"""Behavioural tests for the Hybrid construction algorithm (Alg. 2, §3.4)."""
+
+import random
+
+import pytest
+
+from repro.core.hybrid import HybridConstruction
+from repro.core.protocol import ProtocolConfig
+from repro.core.tree import Overlay
+from repro.oracles.base import RandomDelayOracle
+
+from tests.conftest import spec
+
+
+def make(overlay, timeout=4, pull_only=True, seed=7):
+    oracle = RandomDelayOracle(overlay, random.Random(seed))
+    config = ProtocolConfig(timeout=timeout, pull_only_source=pull_only)
+    return HybridConstruction(overlay, oracle, config)
+
+
+@pytest.fixture
+def overlay():
+    return Overlay(source_fanout=2)
+
+
+def add(overlay, name, latency, fanout):
+    return overlay.add_consumer(spec(latency, fanout), name=name)
+
+
+class TestGroupFormation:
+    def test_larger_fanout_becomes_parent(self, overlay):
+        algo = make(overlay)
+        big = add(overlay, "big", 9, 5)
+        small = add(overlay, "small", 2, 1)
+        algo._interact(small, big)
+        assert small.parent is big
+
+    def test_fanout_tie_stricter_latency_parents(self, overlay):
+        algo = make(overlay)
+        strict = add(overlay, "s", 2, 2)
+        lax = add(overlay, "l", 8, 2)
+        algo._interact(lax, strict)
+        assert lax.parent is strict
+
+    def test_no_capacity_no_edge(self, overlay):
+        algo = make(overlay)
+        a = add(overlay, "a", 5, 0)
+        b = add(overlay, "b", 5, 0)
+        algo._interact(a, b)
+        assert a.parent is None and b.parent is None
+
+    def test_latency_check_blocks_bad_orientation(self, overlay):
+        algo = make(overlay)
+        big = add(overlay, "big", 9, 5)
+        tight = add(overlay, "tight", 1, 1)
+        # tight under big would have potential delay 2 > 1; the reversed
+        # orientation (big under tight) is fine.
+        algo._interact(tight, big)
+        assert big.parent is tight
+
+
+class TestSourceChildInteraction:
+    def test_pull_only_stricter_takes_over_slot(self, overlay):
+        algo = make(overlay)
+        j = add(overlay, "j", 5, 1)
+        overlay.attach(j, overlay.source)
+        i = add(overlay, "i", 1, 1)
+        algo._interact(i, j)
+        assert i.parent is overlay.source
+        assert j.parent is i
+
+    def test_pull_only_laxer_joins_under(self, overlay):
+        algo = make(overlay)
+        j = add(overlay, "j", 2, 1)
+        overlay.attach(j, overlay.source)
+        i = add(overlay, "i", 5, 1)
+        algo._interact(i, j)
+        assert i.parent is j
+
+    def test_push_source_fanout_decides(self, overlay):
+        algo = make(overlay, pull_only=False)
+        j = add(overlay, "j", 2, 1)
+        overlay.attach(j, overlay.source)
+        i = add(overlay, "i", 5, 4)  # laxer but higher fanout
+        algo._interact(i, j)
+        assert i.parent is overlay.source
+        assert j.parent is i
+
+    def test_referred_to_source_when_nothing_possible(self, overlay):
+        algo = make(overlay)
+        j = add(overlay, "j", 1, 0)
+        overlay.attach(j, overlay.source)
+        i = add(overlay, "i", 2, 0)
+        algo._interact(i, j)
+        assert i.parent is None
+        assert i.referral is overlay.source
+
+
+class TestMidChainInteraction:
+    def _chain(self, overlay, specs):
+        parent = overlay.source
+        nodes = []
+        for idx, (l, f) in enumerate(specs):
+            node = add(overlay, f"c{idx}", l, f)
+            overlay.attach(node, parent)
+            parent = node
+            nodes.append(node)
+        return nodes
+
+    def test_higher_fanout_splices_above(self, overlay):
+        algo = make(overlay)
+        k, j = self._chain(overlay, [(1, 1), (6, 1)])
+        i = add(overlay, "i", 6, 4)
+        algo._interact(i, j)
+        assert i.parent is k
+        assert j.parent is i
+
+    def test_lower_fanout_joins_under(self, overlay):
+        algo = make(overlay)
+        k, j = self._chain(overlay, [(1, 1), (4, 3)])
+        i = add(overlay, "i", 6, 1)
+        algo._interact(i, j)
+        assert i.parent is j
+
+    def test_fallback_attach_when_splice_impossible(self, overlay):
+        """A high-fanout node whose splice would violate the partner's
+        latency still joins under the partner (the or-else cascade)."""
+        algo = make(overlay)
+        k, j = self._chain(overlay, [(1, 1), (2, 2)])
+        i = add(overlay, "i", 6, 8)  # f_i > f_j, but j cannot go deeper
+        algo._interact(i, j)
+        assert i.parent is j
+
+    def test_referral_upstream_when_too_deep(self, overlay):
+        algo = make(overlay)
+        k, j = self._chain(overlay, [(1, 1), (2, 0)])
+        i = add(overlay, "i", 2, 0)
+        # delay(j)=2 >= l_i=2 and no move possible: referred upstream to k.
+        algo._interact(i, j)
+        assert i.referral is k
+
+    def test_no_referral_when_partner_shallow_enough(self, overlay):
+        algo = make(overlay)
+        k, j = self._chain(overlay, [(1, 1), (9, 0)])
+        i = add(overlay, "i", 9, 0)
+        algo._interact(i, j)
+        assert i.parent is None
+        assert i.referral is None  # falls back to the oracle
+
+    def test_splice_may_shed_own_child(self, overlay):
+        algo = make(overlay)
+        k, j = self._chain(overlay, [(1, 1), (6, 0)])
+        i = add(overlay, "i", 6, 1)  # f_i > f_j: prefers the splice
+        burden = add(overlay, "burden", 9, 0)
+        overlay.attach(burden, i)  # i full: must shed to host j
+        algo._interact(i, j)
+        assert i.parent is k and j.parent is i
+        assert burden.parent is None
+
+
+class TestTimeoutBranch:
+    def test_timeout_attach_with_free_capacity(self, overlay):
+        algo = make(overlay, timeout=1)
+        i = add(overlay, "i", 3, 1)
+        algo.step(i)
+        algo.step(i)
+        assert i.parent is overlay.source
+
+    def test_timeout_displaces_laxer_direct_child(self, overlay):
+        algo = make(overlay, timeout=1)
+        l1 = add(overlay, "l1", 6, 1)
+        l2 = add(overlay, "l2", 7, 1)
+        overlay.attach(l1, overlay.source)
+        overlay.attach(l2, overlay.source)
+        i = add(overlay, "i", 2, 1)
+        algo.step(i)
+        algo.step(i)
+        assert i.parent is overlay.source
+        assert l2.parent is i  # laxest victim adopted
+
+    def test_adversarial_scenario_resolved_by_hybrid(self):
+        """The repaired §3.3.1 configuration is reachable by hybrid moves:
+        drive the five nodes directly through the algorithm."""
+        from repro.workloads.adversarial import adversarial_workload
+
+        overlay = adversarial_workload().build_overlay()
+        algo = make(overlay, timeout=2, seed=4)
+        rng = random.Random(0)
+        for _ in range(400):
+            nodes = list(overlay.online_consumers)
+            rng.shuffle(nodes)
+            for node in nodes:
+                if node.parent is None:
+                    algo.step(node)
+                else:
+                    algo.maintain(node)
+            if overlay.is_converged():
+                break
+        assert overlay.is_converged()

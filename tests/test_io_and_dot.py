@@ -1,0 +1,105 @@
+"""Tests for workload serialization and DOT export."""
+
+import json
+
+import pytest
+
+from repro.analysis.dot import overlay_to_dot
+from repro.core.errors import ConfigurationError
+from repro.core.tree import Overlay
+from repro.workloads import (
+    load_workload,
+    make as make_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+from tests.conftest import build_chain, spec
+
+
+class TestWorkloadIo:
+    def test_roundtrip_through_dict(self):
+        workload = make_workload("BiCorr", size=40, seed=3)
+        rebuilt = workload_from_dict(workload_to_dict(workload))
+        assert rebuilt == workload
+
+    def test_roundtrip_through_file(self, tmp_path):
+        workload = make_workload("Rand", size=25, seed=1)
+        path = tmp_path / "workload.json"
+        save_workload(workload, path)
+        assert load_workload(path) == workload
+
+    def test_file_is_plain_json(self, tmp_path):
+        workload = make_workload("Tf1", size=12)
+        path = tmp_path / "w.json"
+        save_workload(workload, path)
+        data = json.loads(path.read_text())
+        assert data["source_fanout"] == 3
+        assert len(data["population"]) == 12
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workload_from_dict({"format_version": 1, "name": "x"})
+
+    def test_wrong_version_rejected(self):
+        workload = make_workload("Rand", size=5, seed=1)
+        data = workload_to_dict(workload)
+        data["format_version"] = 99
+        with pytest.raises(ConfigurationError):
+            workload_from_dict(data)
+
+    def test_non_json_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(ConfigurationError):
+            load_workload(path)
+
+    def test_invalid_constraints_rejected(self):
+        data = {
+            "format_version": 1,
+            "name": "x",
+            "source_fanout": 1,
+            "population": [["a", {"latency": 0, "fanout": 1}]],
+        }
+        with pytest.raises(ConfigurationError):
+            workload_from_dict(data)
+
+
+class TestDotExport:
+    def _overlay(self):
+        overlay = Overlay(source_fanout=2)
+        a = overlay.add_consumer(spec(1, 1), name="a")
+        b = overlay.add_consumer(spec(1, 1), name="b")  # will be violated
+        c = overlay.add_consumer(spec(2, 1), name="c")  # unrooted
+        d = overlay.add_consumer(spec(2, 1), name="d")  # offline
+        build_chain(overlay, a, b)
+        overlay.go_offline(d)
+        return overlay
+
+    def test_all_nodes_and_edges_present(self):
+        overlay = self._overlay()
+        dot = overlay_to_dot(overlay)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for label in ("a_1^1", "b_1^1", "c_1^2", "d_1^2"):
+            assert label in dot
+        assert "n0 -> n1;" in dot  # source -> a
+        assert "n1 -> n2;" in dot  # a -> b
+
+    def test_colours_reflect_state(self):
+        overlay = self._overlay()
+        dot = overlay_to_dot(overlay)
+        lines = {line for line in dot.splitlines()}
+        satisfied = next(l for l in lines if '"a_1^1' in l)
+        violated = next(l for l in lines if '"b_1^1' in l)
+        unrooted = next(l for l in lines if '"c_1^2' in l)
+        offline = next(l for l in lines if '"d_1^2' in l)
+        assert "#7fbf7f" in satisfied
+        assert "#e07a7a" in violated
+        assert "#bfbfbf" in unrooted
+        assert "#efefef" in offline
+
+    def test_title_escaped_into_header(self):
+        overlay = self._overlay()
+        assert 'digraph "My overlay"' in overlay_to_dot(overlay, "My overlay")

@@ -1,0 +1,130 @@
+"""Property test for the §3.2 Lemma.
+
+    "The maintenance strategy (of Algorithm 1) is sufficient for the
+    greedy construction algorithm."
+
+The proof hinges on: in any source-rooted chain whose edges satisfy the
+greedy invariant (``l_parent <= l_child``), the *first* (most upstream)
+node whose latency constraint is violated observes
+``DelayAt == l + 1`` exactly.  We verify this on randomly generated
+invariant-respecting trees — including trees with arbitrary violations,
+the transient states that arise when fragments merge.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import NodeSpec
+from repro.core.maintenance import greedy_maintenance
+from repro.core.tree import Overlay
+
+spec_strategy = st.builds(
+    NodeSpec,
+    latency=st.integers(min_value=1, max_value=6),
+    fanout=st.integers(min_value=1, max_value=3),
+)
+
+
+def build_invariant_tree(specs, seed):
+    """A random source-rooted tree whose consumer edges all satisfy the
+    greedy invariant, with *no* latency-vs-depth checks (so violations
+    can and do occur, as after fragment merges)."""
+    rng = random.Random(seed)
+    overlay = Overlay(source_fanout=2)
+    nodes = [
+        overlay.add_consumer(s, name=f"n{i}") for i, s in enumerate(specs)
+    ]
+    # Attach in random order; each node picks a random feasible parent —
+    # the source, or an already-rooted consumer with a compatible
+    # constraint and a free slot (keeps everything in one tree).
+    order = nodes[:]
+    rng.shuffle(order)
+    for node in order:
+        feasible = [overlay.source] if overlay.source.free_fanout > 0 else []
+        feasible += [
+            p
+            for p in nodes
+            if p is not node
+            and p.parent is not None
+            and overlay.is_rooted(p)
+            and p.free_fanout > 0
+            and p.latency <= node.latency
+        ]
+        if feasible:
+            overlay.attach(node, rng.choice(feasible))
+    return overlay, nodes
+
+
+class TestLemma:
+    @given(
+        specs=st.lists(spec_strategy, min_size=1, max_size=15),
+        seed=st.integers(0, 100_000),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_first_violated_node_is_exactly_one_too_deep(self, specs, seed):
+        overlay, nodes = build_invariant_tree(specs, seed)
+        for node in nodes:
+            if not overlay.is_rooted(node) or node.parent is None:
+                continue
+            delay = overlay.delay_at(node)
+            if delay <= node.latency:
+                continue
+            # `node` is violated; is it the first violated on its chain?
+            first = True
+            current = node.parent
+            while current is not None and not current.is_source:
+                if overlay.delay_at(current) > current.latency:
+                    first = False
+                    break
+                current = current.parent
+            if first:
+                assert delay == node.latency + 1, (
+                    f"lemma broken: first violated {node.label()} at "
+                    f"delay {delay}"
+                )
+
+    @given(
+        specs=st.lists(spec_strategy, min_size=1, max_size=15),
+        seed=st.integers(0, 100_000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_maintenance_fires_exactly_on_first_violators(self, specs, seed):
+        """Algorithm 1 detaches a node iff it is a first violator."""
+        overlay, nodes = build_invariant_tree(specs, seed)
+        first_violators = set()
+        for node in nodes:
+            if node.parent is None or not overlay.is_rooted(node):
+                continue
+            if overlay.delay_at(node) != node.latency + 1:
+                continue
+            current = node.parent
+            clean = True
+            while current is not None and not current.is_source:
+                if overlay.delay_at(current) > current.latency:
+                    clean = False
+                    break
+                current = current.parent
+            if clean:
+                first_violators.add(node.node_id)
+        for node in nodes:
+            expected = node.node_id in first_violators
+            # Evaluate the *condition* without mutating (maintenance
+            # detaches, which would shift deeper delays mid-check).
+            condition = (
+                node.parent is not None
+                and overlay.is_rooted(node)
+                and overlay.delay_at(node) == node.latency + 1
+            )
+            if expected:
+                assert condition
+        # And actually firing it detaches exactly condition-holders.
+        for node in list(nodes):
+            held = (
+                node.parent is not None
+                and overlay.is_rooted(node)
+                and overlay.delay_at(node) == node.latency + 1
+            )
+            fired = greedy_maintenance(overlay, node)
+            assert fired == held

@@ -1,0 +1,76 @@
+"""Tests for live delivery: dissemination interleaved with churn/repair."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.feeds.live import LiveFeedSystem, live_delivery
+from repro.sim.churn import ChurnConfig
+from repro.sim.runner import SimulationConfig
+from repro.workloads import make as make_workload
+
+
+class TestLiveFeedSystem:
+    def test_static_population_delivers_everything_on_time(self):
+        workload = make_workload("Rand", size=40, seed=1)
+        report = live_delivery(
+            workload, seed=1, leave_probability=0.0, duration=80
+        )
+        assert report.on_time_fraction == 1.0
+        assert report.delivery_ratio > 0.95
+        assert report.departures == 0
+
+    def test_paper_churn_keeps_promises_mostly(self):
+        workload = make_workload("Rand", size=40, seed=2)
+        report = live_delivery(
+            workload, seed=2, leave_probability=0.01, duration=120
+        )
+        assert report.departures > 0 and report.rejoins > 0
+        assert report.on_time_fraction > 0.9
+        assert report.delivery_ratio > 0.8
+
+    def test_heavier_churn_degrades_delivery(self):
+        workload = make_workload("Rand", size=40, seed=3)
+        gentle = live_delivery(
+            workload, seed=3, leave_probability=0.005, duration=120
+        )
+        violent = live_delivery(
+            workload, seed=3, leave_probability=0.08, duration=120
+        )
+        assert violent.delivery_ratio < gentle.delivery_ratio
+
+    def test_new_direct_pullers_are_picked_up(self):
+        """After churn removes a direct puller, its replacement starts
+        pulling — deliveries keep flowing late in the run."""
+        workload = make_workload("Rand", size=40, seed=4)
+        system = LiveFeedSystem(
+            workload,
+            SimulationConfig(
+                algorithm="hybrid",
+                seed=4,
+                churn=ChurnConfig(0.02, 0.3),
+                max_rounds=10**9,
+                stop_at_convergence=False,
+            ),
+        )
+        system.run(60)
+        early_pulls = system.engine.pulls
+        system.run(60)
+        assert system.engine.pulls > early_pulls
+
+    def test_invalid_repair_rounds(self):
+        workload = make_workload("Rand", size=10, seed=1)
+        with pytest.raises(ConfigurationError):
+            LiveFeedSystem(
+                workload,
+                SimulationConfig(stop_at_convergence=False, max_rounds=10**9),
+                repair_rounds_per_period=0,
+            )
+
+    def test_report_arithmetic(self):
+        workload = make_workload("Rand", size=20, seed=5)
+        report = live_delivery(
+            workload, seed=5, leave_probability=0.01, duration=60
+        )
+        assert report.on_time_deliveries <= report.deliveries
+        assert report.published > 0
+        assert 0.0 <= report.on_time_fraction <= 1.0

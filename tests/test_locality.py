@@ -1,0 +1,152 @@
+"""Tests for the locality extension (§7)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.tree import Overlay
+from repro.locality import (
+    LocalityDelayOracle,
+    LocalityModel,
+    edge_cost_metrics,
+    run_pair,
+)
+from repro.sim.rng import make_stream
+
+from tests.conftest import spec
+
+
+def populated_overlay(n=30):
+    overlay = Overlay(source_fanout=3)
+    for i in range(n):
+        overlay.add_consumer(spec(2 + i % 6, 2), name=f"n{i}")
+    return overlay
+
+
+class TestLocalityModel:
+    def test_every_consumer_placed(self):
+        overlay = populated_overlay()
+        model = LocalityModel(overlay, make_stream(1, "loc"), domains=4)
+        for node in overlay.consumers:
+            placement = model.placement(node.node_id)
+            assert 0.0 <= placement.x <= 1.0
+            assert 0.0 <= placement.y <= 1.0
+            assert 0 <= placement.domain < 4
+
+    def test_source_is_domainless_centre(self):
+        overlay = populated_overlay()
+        model = LocalityModel(overlay, make_stream(1, "loc"))
+        placement = model.placement(0)
+        assert placement.domain == -1
+        assert (placement.x, placement.y) == (0.5, 0.5)
+
+    def test_same_domain_is_never_true_for_source(self):
+        overlay = populated_overlay()
+        model = LocalityModel(overlay, make_stream(1, "loc"))
+        assert not model.same_domain(0, overlay.consumers[0].node_id)
+
+    def test_distance_symmetry(self):
+        overlay = populated_overlay()
+        model = LocalityModel(overlay, make_stream(1, "loc"))
+        a, b = overlay.consumers[0].node_id, overlay.consumers[1].node_id
+        assert model.distance(a, b) == model.distance(b, a)
+
+    def test_same_domain_nodes_are_closer_on_average(self):
+        overlay = populated_overlay(60)
+        model = LocalityModel(overlay, make_stream(2, "loc"), domains=4)
+        ids = [n.node_id for n in overlay.consumers]
+        same, cross = [], []
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                (same if model.same_domain(a, b) else cross).append(
+                    model.distance(a, b)
+                )
+        assert same and cross
+        assert sum(same) / len(same) < sum(cross) / len(cross)
+
+    def test_domain_members_partition(self):
+        overlay = populated_overlay(40)
+        model = LocalityModel(overlay, make_stream(3, "loc"), domains=3)
+        total = sum(len(model.domain_members(d)) for d in range(3))
+        assert total == 40
+
+    def test_invalid_configs(self):
+        overlay = populated_overlay(5)
+        with pytest.raises(ConfigurationError):
+            LocalityModel(overlay, make_stream(1, "x"), domains=0)
+        with pytest.raises(ConfigurationError):
+            LocalityModel(overlay, make_stream(1, "x"), scatter=0)
+
+    def test_unknown_node_rejected(self):
+        overlay = populated_overlay(5)
+        model = LocalityModel(overlay, make_stream(1, "x"))
+        with pytest.raises(ConfigurationError):
+            model.placement(999)
+
+
+class TestLocalityOracle:
+    def test_respects_delay_filter(self):
+        overlay = populated_overlay()
+        model = LocalityModel(overlay, make_stream(1, "loc"))
+        oracle = LocalityDelayOracle(overlay, random.Random(1), model)
+        a = overlay.consumers[0]
+        overlay.attach(a, overlay.source)
+        enquirer = overlay.add_consumer(spec(2, 1), name="enq")
+        model._placements[enquirer.node_id] = model.placement(a.node_id)
+        for _ in range(50):
+            node = oracle.sample(enquirer)
+            if node is not None:
+                assert overlay.delay_at(node) < enquirer.latency
+
+    def test_prefers_same_domain(self):
+        overlay = populated_overlay(40)
+        model = LocalityModel(overlay, make_stream(4, "loc"), domains=4)
+        oracle = LocalityDelayOracle(
+            overlay, random.Random(2), model, same_domain_bias=1.0
+        )
+        enquirer = overlay.consumers[0]
+        same = 0
+        total = 0
+        for _ in range(300):
+            node = oracle.sample(enquirer)
+            if node is None:
+                continue
+            total += 1
+            if model.same_domain(enquirer.node_id, node.node_id):
+                same += 1
+        assert total > 0
+        assert same / total > 0.8
+
+
+class TestEdgeCostMetrics:
+    def test_empty_tree_zero_cost(self):
+        overlay = populated_overlay(5)
+        model = LocalityModel(overlay, make_stream(1, "loc"))
+        mean, fraction, maximum = edge_cost_metrics(overlay, model)
+        assert mean == 0.0 and maximum is None
+
+    def test_metrics_over_small_tree(self):
+        overlay = populated_overlay(5)
+        model = LocalityModel(overlay, make_stream(1, "loc"))
+        a, b = overlay.consumers[0], overlay.consumers[1]
+        overlay.attach(a, overlay.source)
+        overlay.attach(b, a)
+        mean, fraction, maximum = edge_cost_metrics(overlay, model)
+        assert mean > 0.0
+        assert maximum >= mean
+        assert fraction in (0.0, 1.0)  # exactly one consumer-consumer edge
+
+
+class TestLocalityExperiment:
+    def test_locality_bias_shrinks_edges_without_breaking_convergence(self):
+        plain, local = run_pair(population=50, seed=1, max_rounds=4000)
+        assert plain.converged and local.converged
+        assert local.mean_edge_distance < plain.mean_edge_distance
+        assert local.same_domain_fraction > plain.same_domain_fraction
+
+    def test_locality_bias_improves_delivered_freshness(self):
+        """With distance-driven hop delays, the shorter edges pay off as
+        measurably fresher deliveries."""
+        plain, local = run_pair(population=50, seed=2, max_rounds=4000)
+        assert local.mean_delivered_staleness < plain.mean_delivered_staleness

@@ -1,0 +1,122 @@
+"""Unit tests for the maintenance rules (§3.2, §3.4)."""
+
+from repro.core.maintenance import (
+    eager_maintenance,
+    greedy_maintenance,
+    hybrid_maintenance,
+)
+from repro.core.tree import Overlay
+
+from tests.conftest import build_chain, spec
+
+
+def make_chain(latencies, source_fanout=1, fanout=2):
+    """Build source <- n1 <- n2 <- ... with the given latency constraints."""
+    overlay = Overlay(source_fanout=source_fanout)
+    nodes = [
+        overlay.add_consumer(spec(l, fanout), name=f"n{i}")
+        for i, l in enumerate(latencies)
+    ]
+    build_chain(overlay, *nodes)
+    return overlay, nodes
+
+
+class TestGreedyMaintenance:
+    def test_fires_exactly_at_l_plus_one(self):
+        overlay, nodes = make_chain([1, 1])
+        # n1 (l=1) sits at delay 2 == l+1: must leave.
+        assert greedy_maintenance(overlay, nodes[1])
+        assert nodes[1].parent is None
+
+    def test_does_not_fire_when_satisfied(self):
+        overlay, nodes = make_chain([1, 2, 3])
+        for node in nodes:
+            assert not greedy_maintenance(overlay, node)
+
+    def test_does_not_fire_beyond_l_plus_one(self):
+        """Only the first violated node (exactly l+1) acts; deeper nodes
+        with larger violations wait (the §3.2 Lemma's division of labor)."""
+        overlay, nodes = make_chain([1, 1, 1])
+        # delays 1, 2, 3; n1 at l+1=2 fires, n2 at 3 = l+2 must NOT.
+        assert not greedy_maintenance(overlay, nodes[2])
+        assert greedy_maintenance(overlay, nodes[1])
+
+    def test_does_not_fire_in_unrooted_fragment(self):
+        overlay = Overlay(source_fanout=1)
+        root = overlay.add_consumer(spec(3, 2), name="root")
+        child = overlay.add_consumer(spec(1, 2), name="child")
+        overlay.attach(child, root)  # potential delay 2 == l+1, but unrooted
+        assert not greedy_maintenance(overlay, child)
+
+    def test_sets_referral_to_grandparent(self):
+        overlay, nodes = make_chain([1, 2, 2])
+        # n2 (l=2) at delay 3: fires, referral -> n0 (grandparent).
+        assert greedy_maintenance(overlay, nodes[2])
+        assert nodes[2].referral is nodes[0]
+
+    def test_ignores_parentless_and_source(self):
+        overlay, nodes = make_chain([1])
+        assert not greedy_maintenance(overlay, overlay.source)
+        lone = overlay.add_consumer(spec(1, 1), name="lone")
+        assert not greedy_maintenance(overlay, lone)
+
+
+class TestHybridMaintenance:
+    def test_waits_for_timeout(self):
+        overlay, nodes = make_chain([1, 1])
+        victim = nodes[1]
+        assert not hybrid_maintenance(overlay, victim, maintenance_timeout=2)
+        assert not hybrid_maintenance(overlay, victim, maintenance_timeout=2)
+        assert hybrid_maintenance(overlay, victim, maintenance_timeout=2)
+        assert victim.parent is None
+
+    def test_zero_timeout_fires_immediately(self):
+        overlay, nodes = make_chain([1, 1])
+        assert hybrid_maintenance(overlay, nodes[1], maintenance_timeout=0)
+
+    def test_violation_counter_resets_when_fixed(self):
+        overlay, nodes = make_chain([1, 1])
+        victim = nodes[1]
+        hybrid_maintenance(overlay, victim, maintenance_timeout=3)
+        assert victim.violation_rounds == 1
+        # Upstream reconfiguration fixes the violation...
+        overlay.detach(victim)
+        overlay.detach(nodes[0])
+        overlay.attach(victim, overlay.source)
+        assert not hybrid_maintenance(overlay, victim, maintenance_timeout=3)
+        assert victim.violation_rounds == 0
+
+    def test_handles_large_violations(self):
+        """Unlike the greedy rule, fires for DelayAt arbitrarily > l+1."""
+        overlay, nodes = make_chain([1, 9, 9, 1])
+        deep = nodes[3]  # delay 4, l=1
+        for _ in range(3):
+            hybrid_maintenance(overlay, deep, maintenance_timeout=2)
+        assert deep.parent is None
+
+    def test_referral_jumps_to_suitable_ancestor(self):
+        overlay, nodes = make_chain([1, 9, 9, 2])
+        deep = nodes[3]  # delay 4, l=2: suitable ancestor is n0 (delay 1)
+        assert hybrid_maintenance(overlay, deep, maintenance_timeout=0)
+        assert deep.referral is nodes[0]
+
+    def test_does_not_fire_unrooted(self):
+        overlay = Overlay(source_fanout=1)
+        root = overlay.add_consumer(spec(3, 2), name="root")
+        child = overlay.add_consumer(spec(1, 2), name="child")
+        overlay.attach(child, root)
+        assert not hybrid_maintenance(overlay, child, maintenance_timeout=0)
+
+
+class TestEagerMaintenance:
+    def test_fires_even_unrooted(self):
+        overlay = Overlay(source_fanout=1)
+        root = overlay.add_consumer(spec(3, 2), name="root")
+        child = overlay.add_consumer(spec(1, 2), name="child")
+        overlay.attach(child, root)
+        assert eager_maintenance(overlay, child)
+        assert child.parent is None
+
+    def test_does_not_fire_when_within_constraint(self):
+        overlay, nodes = make_chain([1, 2])
+        assert not eager_maintenance(overlay, nodes[1])

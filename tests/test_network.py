@@ -1,0 +1,155 @@
+"""Unit tests for the message-passing network substrate."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.network.latency import ConstantLatency, CoordinateLatency, UniformLatency
+from repro.network.message import Message
+from repro.network.topology import (
+    connected_components,
+    random_regularish_graph,
+)
+from repro.network.transport import Network
+from repro.sim.engine import EventScheduler
+
+
+class Recorder:
+    def __init__(self):
+        self.received = []
+
+    def handle_message(self, message: Message) -> None:
+        self.received.append(message)
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(2.5)
+        assert model.latency("a", "b") == 2.5
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-1)
+
+    def test_uniform_is_symmetric_and_stable(self):
+        model = UniformLatency(1.0, 2.0, random.Random(1))
+        ab = model.latency("a", "b")
+        assert model.latency("b", "a") == ab
+        assert model.latency("a", "b") == ab
+        assert 1.0 <= ab <= 2.0
+
+    def test_coordinate_respects_placement(self):
+        model = CoordinateLatency(random.Random(1), base=0.0, scale=1.0)
+        model.place("a", 0.0, 0.0)
+        model.place("b", 3.0, 4.0)
+        assert model.latency("a", "b") == pytest.approx(5.0)
+
+    def test_coordinate_triangle_inequality(self):
+        model = CoordinateLatency(random.Random(2), base=0.0, scale=1.0)
+        ab = model.latency("a", "b")
+        bc = model.latency("b", "c")
+        ac = model.latency("a", "c")
+        assert ac <= ab + bc + 1e-9
+
+
+class TestNetwork:
+    def test_delivery_after_latency(self):
+        scheduler = EventScheduler()
+        network = Network(scheduler, ConstantLatency(2.0))
+        recorder = Recorder()
+        network.register("b", recorder)
+        network.send("a", "b", "ping", {"x": 1})
+        scheduler.run_until(1.0)
+        assert not recorder.received
+        scheduler.run_until(2.0)
+        assert len(recorder.received) == 1
+        assert recorder.received[0].payload == {"x": 1}
+        assert recorder.received[0].sent_at == 0.0
+
+    def test_unroutable_messages_counted(self):
+        scheduler = EventScheduler()
+        network = Network(scheduler)
+        network.send("a", "ghost", "ping", None)
+        scheduler.run()
+        assert network.dropped_unroutable == 1
+        assert network.delivered == 0
+
+    def test_unregister_drops_in_flight(self):
+        scheduler = EventScheduler()
+        network = Network(scheduler, ConstantLatency(5.0))
+        recorder = Recorder()
+        network.register("b", recorder)
+        network.send("a", "b", "ping", None)
+        network.unregister("b")
+        scheduler.run()
+        assert not recorder.received
+        assert network.dropped_unroutable == 1
+
+    def test_lossy_network_drops_fraction(self):
+        scheduler = EventScheduler()
+        network = Network(
+            scheduler,
+            ConstantLatency(0.1),
+            loss_probability=0.5,
+            rng=random.Random(3),
+        )
+        recorder = Recorder()
+        network.register("b", recorder)
+        for _ in range(200):
+            network.send("a", "b", "ping", None)
+        scheduler.run()
+        assert 50 < len(recorder.received) < 150
+        assert network.dropped_loss == 200 - len(recorder.received)
+
+    def test_lossy_network_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            Network(EventScheduler(), loss_probability=0.1)
+
+    def test_message_ids_unique(self):
+        scheduler = EventScheduler()
+        network = Network(scheduler)
+        a = network.send("a", "b", "x", None)
+        b = network.send("a", "b", "x", None)
+        assert a.message_id != b.message_id
+
+    def test_reply_kind_convention(self):
+        message = Message(sender="a", recipient="b", kind="dht.lookup", payload=None)
+        assert message.reply_kind() == "dht.lookup.reply"
+
+
+class TestTopology:
+    def test_graph_is_connected(self):
+        for seed in range(5):
+            graph = random_regularish_graph(
+                list(range(30)), degree=3, rng=random.Random(seed)
+            )
+            assert len(connected_components(graph)) == 1
+
+    def test_degrees_at_least_requested(self):
+        graph = random_regularish_graph(
+            list(range(40)), degree=4, rng=random.Random(1)
+        )
+        assert all(len(neighbours) >= 4 for neighbours in graph.values())
+
+    def test_small_population_complete_graph(self):
+        graph = random_regularish_graph(["a", "b", "c"], degree=5, rng=random.Random(1))
+        assert graph["a"] == {"b", "c"}
+
+    def test_no_self_loops(self):
+        graph = random_regularish_graph(
+            list(range(25)), degree=3, rng=random.Random(2)
+        )
+        assert all(v not in neighbours for v, neighbours in graph.items())
+
+    def test_symmetry(self):
+        graph = random_regularish_graph(
+            list(range(25)), degree=3, rng=random.Random(3)
+        )
+        for vertex, neighbours in graph.items():
+            for neighbour in neighbours:
+                assert vertex in graph[neighbour]
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_regularish_graph([1, 2, 3, 4], degree=0, rng=random.Random(1))

@@ -1,0 +1,173 @@
+"""Unit tests for the four Oracles (§2.1.4)."""
+
+import random
+
+import pytest
+
+from repro.core.tree import Overlay
+from repro.oracles.base import (
+    ORACLES,
+    RandomCapacityOracle,
+    RandomDelayCapacityOracle,
+    RandomDelayOracle,
+    RandomOracle,
+    make_oracle,
+    oracle_names,
+)
+
+from tests.conftest import spec
+
+
+@pytest.fixture
+def overlay():
+    """source(f=2) <- a(l1,f1,full) <- b(l3,f2,free); c(l2,f0) parentless."""
+    overlay = Overlay(source_fanout=2)
+    a = overlay.add_consumer(spec(1, 1), name="a")
+    b = overlay.add_consumer(spec(3, 2), name="b")
+    overlay.add_consumer(spec(2, 0), name="c")
+    overlay.attach(a, overlay.source)
+    overlay.attach(b, a)
+    return overlay
+
+
+def names(oracle, enquirer, samples=200):
+    found = set()
+    for _ in range(samples):
+        node = oracle.sample(enquirer)
+        if node is not None:
+            found.add(node.name)
+    return found
+
+
+class TestRandomOracle:
+    def test_returns_any_other_consumer(self, overlay):
+        oracle = RandomOracle(overlay, random.Random(1))
+        enquirer = overlay.node(3)  # c
+        assert names(oracle, enquirer) == {"a", "b"}
+
+    def test_never_returns_enquirer_or_source(self, overlay):
+        oracle = RandomOracle(overlay, random.Random(1))
+        enquirer = overlay.node(1)
+        assert "a" not in names(oracle, enquirer)
+        assert "0" not in names(oracle, enquirer)
+
+    def test_skips_offline_nodes(self, overlay):
+        oracle = RandomOracle(overlay, random.Random(1))
+        overlay.go_offline(overlay.node(3))
+        assert names(oracle, overlay.node(2)) == {"a"}
+
+    def test_none_when_alone(self):
+        overlay = Overlay(source_fanout=1)
+        lone = overlay.add_consumer(spec(1, 1), name="lone")
+        oracle = RandomOracle(overlay, random.Random(1))
+        assert oracle.sample(lone) is None
+        assert oracle.misses == 1
+
+
+class TestRandomCapacityOracle:
+    def test_filters_on_free_fanout(self, overlay):
+        oracle = RandomCapacityOracle(overlay, random.Random(1))
+        # a is full (1/1), c has fanout 0: only b qualifies.
+        assert names(oracle, overlay.node(3)) == {"b"}
+
+    def test_ignores_latency(self, overlay):
+        oracle = RandomCapacityOracle(overlay, random.Random(1))
+        tight = overlay.add_consumer(spec(1, 1), name="tight")
+        # b has delay 2 >= l=1, but capacity oracle does not care.
+        assert "b" in names(oracle, tight)
+
+
+class TestRandomDelayOracle:
+    def test_filters_on_delay_only(self, overlay):
+        oracle = RandomDelayOracle(overlay, random.Random(1))
+        enquirer = overlay.node(3)  # l=2: needs delay < 2
+        # a has delay 1 (full fanout — irrelevant); b delay 2 excluded.
+        assert names(oracle, enquirer) == {"a"}
+
+    def test_lax_enquirer_sees_more(self, overlay):
+        oracle = RandomDelayOracle(overlay, random.Random(1))
+        lax = overlay.add_consumer(spec(9, 1), name="lax")
+        assert names(oracle, lax) >= {"a", "b", "c"}
+
+    def test_unrooted_candidates_use_potential_delay(self, overlay):
+        oracle = RandomDelayOracle(overlay, random.Random(1))
+        enquirer = overlay.add_consumer(spec(2, 1), name="e")
+        # c is parentless: potential delay 1 < 2, so it qualifies.
+        assert "c" in names(oracle, enquirer)
+
+    def test_l1_enquirer_finds_nobody(self, overlay):
+        oracle = RandomDelayOracle(overlay, random.Random(1))
+        tight = overlay.add_consumer(spec(1, 1), name="tight")
+        assert oracle.sample(tight) is None
+
+
+class TestRandomDelayRootedOracle:
+    def test_excludes_unrooted_candidates(self, overlay):
+        from repro.oracles.base import RandomDelayRootedOracle
+
+        oracle = RandomDelayRootedOracle(overlay, random.Random(1))
+        enquirer = overlay.add_consumer(spec(9, 1), name="e")
+        # c is parentless (unrooted): the plain O3 would offer it, the
+        # rooted-only variant must not.
+        picks = names(oracle, enquirer)
+        assert "c" not in picks
+        assert "a" in picks and "b" in picks
+
+    def test_no_rooted_candidates_means_miss(self):
+        overlay = Overlay(source_fanout=2)
+        overlay.add_consumer(spec(5, 1), name="x")
+        enquirer = overlay.add_consumer(spec(5, 1), name="e")
+        from repro.oracles.base import RandomDelayRootedOracle
+
+        oracle = RandomDelayRootedOracle(overlay, random.Random(1))
+        assert oracle.sample(enquirer) is None
+
+
+class TestRandomDelayCapacityOracle:
+    def test_requires_both_filters(self, overlay):
+        oracle = RandomDelayCapacityOracle(overlay, random.Random(1))
+        enquirer = overlay.node(3)  # l=2: delay < 2 and free fanout
+        # a passes delay but is full; b has capacity but delay 2: nobody.
+        assert oracle.sample(enquirer) is None
+
+    def test_finds_node_meeting_both(self, overlay):
+        oracle = RandomDelayCapacityOracle(overlay, random.Random(1))
+        lax = overlay.add_consumer(spec(4, 1), name="lax")
+        assert "b" in names(oracle, lax)
+
+    def test_starvation_is_counted(self, overlay):
+        oracle = RandomDelayCapacityOracle(overlay, random.Random(1))
+        enquirer = overlay.node(3)
+        for _ in range(5):
+            oracle.sample(enquirer)
+        assert oracle.misses == 5
+        assert oracle.hits == 0
+
+
+class TestRegistry:
+    def test_paper_oracles_plus_rooted_ablation_registered(self):
+        # The four paper oracles (oracle_names) plus the rooted-only
+        # ablation variant.
+        assert set(oracle_names()) <= set(ORACLES)
+        assert len(oracle_names()) == 4
+        assert set(ORACLES) - set(oracle_names()) == {"random-delay-rooted"}
+
+    def test_make_oracle_by_name(self, overlay):
+        oracle = make_oracle("random-delay", overlay, random.Random(1))
+        assert isinstance(oracle, RandomDelayOracle)
+
+    def test_make_oracle_unknown_raises(self, overlay):
+        with pytest.raises(ValueError):
+            make_oracle("clairvoyant", overlay, random.Random(1))
+
+    def test_figure_labels(self):
+        labels = [ORACLES[n].figure_label for n in oracle_names()]
+        assert labels == ["O1", "O2a", "O2b", "O3"]
+
+    def test_sampling_is_deterministic_per_seed(self, overlay):
+        a = make_oracle("random", overlay, random.Random(42))
+        b = make_oracle("random", overlay, random.Random(42))
+        enquirer = overlay.node(3)
+        picks_a = [a.sample(enquirer).name for _ in range(20)]
+        picks_b = [b.sample(enquirer).name for _ in range(20)]
+        assert picks_a == picks_b

@@ -1,0 +1,94 @@
+"""End-to-end checks against the paper's Fig. 1 toy system.
+
+The Fig. 1 population: source ``0_3`` and consumers
+``a_2^1 b_2^3 c_2^3 d_2^1 e_2^2 f_2^3 g_2^3 h_2^3 i_2^3 j_2^4``.
+We verify the specific facts the §3.2 walkthrough derives, and that both
+algorithms build a valid LagOver for this population.
+"""
+
+import pytest
+
+from repro.core.constraints import parse_population
+from repro.core.maintenance import greedy_maintenance
+from repro.core.tree import Overlay
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.workloads.base import make_workload
+
+from tests.conftest import by_name
+
+FIG1_TEXT = "a_2^1, b_2^3, c_2^3, d_2^1, e_2^2, f_2^3, g_2^3, h_2^3, i_2^3, j_2^4"
+
+
+def fig1_workload():
+    return make_workload("Fig1", 3, parse_population(FIG1_TEXT))
+
+
+def fig1_overlay():
+    return fig1_workload().build_overlay()
+
+
+class TestFig1Narrative:
+    def test_chain_c_b_a_meets_everyone(self):
+        """'c <- b <- a is a configuration that meets the latency constraint
+        of all the concerned nodes and needs no maintenance operations.'"""
+        overlay = fig1_overlay()
+        a, b, c = by_name(overlay, "a"), by_name(overlay, "b"), by_name(overlay, "c")
+        overlay.attach(a, overlay.source)
+        overlay.attach(b, a)
+        overlay.attach(c, b)
+        assert overlay.delay_at(a) == 1
+        assert overlay.delay_at(b) == 2
+        assert overlay.delay_at(c) == 3
+        for node in (a, b, c):
+            assert overlay.meets_latency(node)
+            assert not greedy_maintenance(overlay, node)
+
+    def test_g_detaches_when_constraint_unmeetable(self):
+        """'the disconnection actions g -/-> f' — a node exactly one hop too
+        deep in a source-rooted chain leaves its parent."""
+        overlay = fig1_overlay()
+        d, e, f, g = (by_name(overlay, n) for n in "defg")
+        overlay.attach(d, overlay.source)
+        overlay.attach(e, d)
+        overlay.attach(f, e)
+        overlay.attach(g, f)  # delay 4 == l_g + 1
+        assert greedy_maintenance(overlay, g)
+        assert g.parent is None
+
+    def test_unrooted_j_i_pair_is_not_torn_down(self):
+        """'the configuration j <- i can still be reused once i discovers a
+        suitable parent node' — no maintenance inside unrooted fragments."""
+        overlay = fig1_overlay()
+        i, j = by_name(overlay, "i"), by_name(overlay, "j")
+        overlay.attach(j, i)
+        assert not greedy_maintenance(overlay, j)
+        assert j.parent is i
+
+    def test_population_is_feasible(self):
+        workload = fig1_workload()
+        assert workload.satisfies_sufficiency()
+
+
+class TestFig1Construction:
+    @pytest.mark.parametrize("algorithm", ["greedy", "hybrid"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_both_algorithms_build_a_lagover(self, algorithm, seed):
+        result = run_simulation(
+            fig1_workload(),
+            SimulationConfig(algorithm=algorithm, seed=seed, max_rounds=500),
+        )
+        assert result.converged
+
+    def test_greedy_gradation_property(self):
+        """After greedy construction, every consumer edge is latency-ordered."""
+        from repro.sim.runner import Simulation
+
+        simulation = Simulation(
+            fig1_workload(), SimulationConfig(algorithm="greedy", seed=1)
+        )
+        simulation.run()
+        overlay = simulation.overlay
+        for node in overlay.online_consumers:
+            parent = node.parent
+            if parent is not None and not parent.is_source:
+                assert parent.latency <= node.latency

@@ -1,0 +1,267 @@
+"""Property-based tests (hypothesis) for the core data structures and moves.
+
+Invariants exercised here:
+
+* overlay mutations never corrupt structure (attach/detach/churn soup);
+* ``try_*`` moves are atomic — failure leaves no trace; success preserves
+  integrity and the edge policy;
+* the greedy algorithm's edge invariant survives arbitrary interaction
+  sequences;
+* the §3.3 sufficiency condition implies exact feasibility on small random
+  populations (it is a *sufficient* condition);
+* workload repair always terminates on positive-fanout populations and
+  yields sufficiency.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import NodeSpec
+from repro.core.greedy import GreedyConstruction
+from repro.core.hybrid import HybridConstruction
+from repro.core.interactions import (
+    greedy_edge,
+    try_attach,
+    try_displace_child,
+    try_insert_between,
+)
+from repro.core.protocol import ProtocolConfig
+from repro.core.sufficiency import find_feasible_configuration, sufficiency_holds
+from repro.core.tree import Overlay
+from repro.oracles.base import make_oracle
+from repro.workloads.repair import repair_population
+
+spec_strategy = st.builds(
+    NodeSpec,
+    latency=st.integers(min_value=1, max_value=6),
+    fanout=st.integers(min_value=0, max_value=4),
+)
+
+population_strategy = st.lists(spec_strategy, min_size=1, max_size=8)
+
+
+def build_random_forest(specs, seed):
+    """An overlay with random feasible attachments (structure soup)."""
+    rng = random.Random(seed)
+    overlay = Overlay(source_fanout=2)
+    nodes = [overlay.add_consumer(s, name=f"n{i}") for i, s in enumerate(specs)]
+    for node in nodes:
+        candidates = [overlay.source] + [
+            other
+            for other in nodes
+            if other is not node and not overlay.is_descendant(other, node)
+        ]
+        rng.shuffle(candidates)
+        for parent in candidates:
+            if parent.free_fanout > 0 and node.parent is None:
+                if not overlay.is_descendant(parent, node):
+                    overlay.attach(node, parent)
+                    break
+    return overlay, nodes
+
+
+class TestStructuralSoup:
+    @given(specs=population_strategy, seed=st.integers(0, 10_000))
+    @settings(max_examples=120, deadline=None)
+    def test_random_forest_integrity(self, specs, seed):
+        overlay, _ = build_random_forest(specs, seed)
+        overlay.check_integrity()
+
+    @given(specs=population_strategy, seed=st.integers(0, 10_000))
+    @settings(max_examples=120, deadline=None)
+    def test_detach_everything_restores_flat_forest(self, specs, seed):
+        overlay, nodes = build_random_forest(specs, seed)
+        for node in nodes:
+            if node.parent is not None:
+                overlay.detach(node)
+        overlay.check_integrity()
+        assert all(n.parent is None for n in nodes)
+        assert not overlay.source.children
+
+    @given(specs=population_strategy, seed=st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_churn_soup_integrity(self, specs, seed):
+        rng = random.Random(seed)
+        overlay, nodes = build_random_forest(specs, seed)
+        for _ in range(30):
+            node = rng.choice(nodes)
+            if node.online:
+                overlay.go_offline(node)
+            else:
+                overlay.go_online(node)
+            overlay.check_integrity()
+
+    @given(specs=population_strategy, seed=st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_delay_is_depth_consistent(self, specs, seed):
+        overlay, nodes = build_random_forest(specs, seed)
+        for node in nodes:
+            delay = overlay.delay_at(node)
+            depth = overlay.depth(node)
+            if overlay.is_rooted(node):
+                assert delay == depth
+            else:
+                assert delay == depth + 1
+            if node.parent is not None:
+                assert delay == overlay.delay_at(node.parent) + 1
+
+
+class TestMoveAtomicity:
+    @given(
+        specs=population_strategy,
+        seed=st.integers(0, 10_000),
+        move_seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_moves_preserve_integrity_and_are_atomic(
+        self, specs, seed, move_seed
+    ):
+        rng = random.Random(move_seed)
+        overlay, nodes = build_random_forest(specs, seed)
+        for _ in range(15):
+            if not nodes:
+                break
+            actor = rng.choice(nodes)
+            target = rng.choice(nodes)
+            if actor.parent is not None:
+                overlay.detach(actor)
+            before = overlay.snapshot()
+            move = rng.choice(["attach", "displace", "insert"])
+            if move == "attach":
+                changed = try_attach(overlay, actor, target)
+            elif move == "displace":
+                changed = try_displace_child(
+                    overlay, actor, target, allow_shed=rng.random() < 0.5
+                )
+            else:
+                changed = try_insert_between(
+                    overlay, actor, target, allow_shed=rng.random() < 0.5
+                )
+            overlay.check_integrity()
+            if not changed:
+                assert overlay.snapshot() == before
+
+    @given(
+        specs=population_strategy,
+        seed=st.integers(0, 10_000),
+        move_seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_greedy_moves_preserve_edge_invariant(self, specs, seed, move_seed):
+        rng = random.Random(move_seed)
+        overlay, nodes = build_random_forest([], seed)  # start empty
+        nodes = [
+            overlay.add_consumer(s, name=f"m{i}") for i, s in enumerate(specs)
+        ]
+        for _ in range(20):
+            actor, target = rng.choice(nodes), rng.choice(nodes)
+            if actor.parent is None:
+                move = rng.choice(["attach", "displace", "insert", "source"])
+                if move == "attach":
+                    try_attach(overlay, actor, target, greedy_edge)
+                elif move == "displace":
+                    try_displace_child(
+                        overlay, actor, target, greedy_edge, allow_shed=True
+                    )
+                elif move == "insert":
+                    try_insert_between(
+                        overlay, actor, target, greedy_edge, allow_shed=True
+                    )
+                else:
+                    try_attach(overlay, actor, overlay.source, greedy_edge)
+            for node in nodes:
+                parent = node.parent
+                if parent is not None and not parent.is_source:
+                    assert parent.latency <= node.latency
+
+
+class TestAlgorithmInvariants:
+    @given(specs=population_strategy, seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_run_keeps_invariant_and_integrity(self, specs, seed):
+        overlay = Overlay(source_fanout=2)
+        nodes = [overlay.add_consumer(s, name=f"n{i}") for i, s in enumerate(specs)]
+        oracle = make_oracle("random", overlay, random.Random(seed))
+        algo = GreedyConstruction(overlay, oracle, ProtocolConfig(timeout=3))
+        rng = random.Random(seed + 1)
+        for _ in range(40):
+            order = list(overlay.online_consumers)
+            rng.shuffle(order)
+            for node in order:
+                if node.parent is None:
+                    algo.step(node)
+                else:
+                    algo.maintain(node)
+            overlay.check_integrity()
+            for node in nodes:
+                parent = node.parent
+                if parent is not None and not parent.is_source:
+                    assert parent.latency <= node.latency
+
+    @given(specs=population_strategy, seed=st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_hybrid_run_keeps_integrity(self, specs, seed):
+        overlay = Overlay(source_fanout=2)
+        for i, s in enumerate(specs):
+            overlay.add_consumer(s, name=f"n{i}")
+        oracle = make_oracle("random-delay", overlay, random.Random(seed))
+        algo = HybridConstruction(overlay, oracle, ProtocolConfig(timeout=3))
+        rng = random.Random(seed + 1)
+        for _ in range(40):
+            order = list(overlay.online_consumers)
+            rng.shuffle(order)
+            for node in order:
+                if node.parent is None:
+                    algo.step(node)
+                else:
+                    algo.maintain(node)
+            overlay.check_integrity()
+
+
+class TestSufficiencyProperties:
+    @given(
+        specs=st.lists(
+            st.builds(
+                NodeSpec,
+                latency=st.integers(min_value=1, max_value=4),
+                fanout=st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=7,
+        ),
+        source_fanout=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_sufficiency_implies_feasibility(self, specs, source_fanout):
+        if sufficiency_holds(source_fanout, specs):
+            assert find_feasible_configuration(source_fanout, specs) is not None
+
+    @given(
+        specs=st.lists(
+            st.builds(
+                NodeSpec,
+                latency=st.integers(min_value=1, max_value=5),
+                fanout=st.integers(min_value=1, max_value=4),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        source_fanout=st.integers(min_value=1, max_value=3),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_repair_terminates_and_yields_sufficiency(
+        self, specs, source_fanout, seed
+    ):
+        population = [(f"n{i}", s) for i, s in enumerate(specs)]
+        repaired, report = repair_population(
+            source_fanout, population, random.Random(seed)
+        )
+        assert sufficiency_holds(source_fanout, [s for _, s in repaired])
+        assert len(repaired) == len(population)
+        # Fanouts never change; latencies never shrink.
+        for (_, before), (_, after) in zip(population, repaired):
+            assert after.fanout == before.fanout
+            assert after.latency >= before.latency

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) for the substrate packages."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.chord import ChordRing
+from repro.dht.hashspace import clockwise_distance, in_interval, ring_size
+from repro.dht.storage import DhtStore
+from repro.feeds.items import FeedItem
+from repro.feeds.rss import parse_rss, render_rss
+from repro.sim.engine import EventScheduler
+
+BITS = 12  # small ring for exhaustive-ish properties
+
+
+class TestHashspaceProperties:
+    @given(
+        point=st.integers(0, ring_size(BITS) - 1),
+        left=st.integers(0, ring_size(BITS) - 1),
+        right=st.integers(0, ring_size(BITS) - 1),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_interval_membership_matches_distance_formulation(
+        self, point, left, right
+    ):
+        """point in (left, right] iff cw(left,point) <= cw(left,right),
+        point != left — the distance-based definition."""
+        expected = (
+            point != left
+            and clockwise_distance(left, point, BITS)
+            <= clockwise_distance(left, right, BITS)
+        )
+        if left == right:
+            # Degenerate interval: whole ring minus left (plus the
+            # inclusive right point).
+            expected = point != left or point == right
+        actual = in_interval(point, left, right, inclusive_right=True, bits=BITS)
+        assert actual == expected
+
+    @given(
+        a=st.integers(0, ring_size(BITS) - 1),
+        b=st.integers(0, ring_size(BITS) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_clockwise_distances_sum_to_ring(self, a, b):
+        if a == b:
+            assert clockwise_distance(a, b, BITS) == 0
+        else:
+            assert (
+                clockwise_distance(a, b, BITS) + clockwise_distance(b, a, BITS)
+                == ring_size(BITS)
+            )
+
+
+class TestChordProperties:
+    @given(
+        names=st.sets(st.integers(0, 10_000), min_size=1, max_size=40),
+        keys=st.lists(st.integers(0, ring_size(16) - 1), min_size=1, max_size=10),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lookup_agrees_with_brute_force(self, names, keys):
+        ring = ChordRing(bits=16)
+        for name in names:
+            ring.add_peer(f"p{name}")
+        for key in keys:
+            owner, hops = ring.find_successor(key)
+            brute = min(
+                ring.peers,
+                key=lambda p: clockwise_distance(key, p.ident, 16)
+                if p.ident != key
+                else 0,
+            )
+            # Owner is the peer at minimal clockwise distance from the key
+            # (i.e. the first at or after it).
+            expected = min(
+                ring.peers, key=lambda p: (p.ident - key) % ring_size(16)
+            )
+            assert owner is expected
+            assert hops <= 2 * 16 + len(ring)
+
+    @given(
+        names=st.sets(st.integers(0, 10_000), min_size=3, max_size=25),
+        removals=st.integers(1, 2),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_storage_survives_membership_changes(self, names, removals, data):
+        ring = ChordRing(bits=16)
+        for name in names:
+            ring.add_peer(f"p{name}")
+        store = DhtStore(ring, replication=3)
+        store.put("the-key", {"payload": 42})
+        for _ in range(min(removals, len(ring) - 1)):
+            victim = data.draw(
+                st.sampled_from([p.name for p in ring.peers])
+            )
+            ring.remove_peer(victim)
+            store.forget_peer(victim)
+            store.repair()
+        assert store.get("the-key") == {"payload": 42}
+
+
+class TestEngineProperties:
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        scheduler = EventScheduler()
+        fired = []
+        for delay in delays:
+            scheduler.schedule(delay, lambda d=delay: fired.append(d))
+        scheduler.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+        assert scheduler.now == max(delays)
+
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        horizon=st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_run_until_fires_exactly_due_events(self, delays, horizon):
+        scheduler = EventScheduler()
+        fired = []
+        for delay in delays:
+            scheduler.schedule(delay, lambda d=delay: fired.append(d))
+        scheduler.run_until(horizon)
+        assert sorted(fired) == sorted(d for d in delays if d <= horizon)
+        assert scheduler.now >= horizon
+
+
+rss_text = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N", "P", "Zs"), max_codepoint=0x2FFF
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestRssProperties:
+    @given(
+        titles=st.lists(rss_text, min_size=0, max_size=8),
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=0,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_render_parse_roundtrip(self, titles, times):
+        items = [
+            FeedItem(seq=i + 1, title=title, published_at=when)
+            for i, (title, when) in enumerate(zip(titles, times))
+        ]
+        parsed = parse_rss(render_rss("feed", items))
+        assert len(parsed) == len(items)
+        for original, returned in zip(items, parsed):
+            assert returned.seq == original.seq
+            assert returned.published_at == original.published_at
+            # ElementTree collapses empty text to None -> "" on parse.
+            assert (returned.title or "") == (original.title or "")

@@ -1,0 +1,164 @@
+"""Unit tests for the shared protocol loop (repro.core.protocol)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.greedy import GreedyConstruction
+from repro.core.protocol import ProtocolConfig
+from repro.core.tree import Overlay
+from repro.oracles.base import Oracle, RandomDelayOracle
+
+from tests.conftest import spec
+
+
+class ScriptedOracle(Oracle):
+    """Returns a scripted sequence of partners (None = miss)."""
+
+    name = "scripted"
+
+    def __init__(self, overlay, sequence):
+        super().__init__(overlay, random.Random(0))
+        self.sequence = list(sequence)
+        self.queries = 0
+
+    def sample(self, enquirer):
+        self.queries += 1
+        if not self.sequence:
+            return None
+        return self.sequence.pop(0)
+
+    def _admits(self, enquirer, candidate):  # pragma: no cover
+        return True
+
+
+@pytest.fixture
+def overlay():
+    return Overlay(source_fanout=1)
+
+
+def make_algo(overlay, oracle=None, timeout=3):
+    oracle = oracle or RandomDelayOracle(overlay, random.Random(1))
+    return GreedyConstruction(overlay, oracle, ProtocolConfig(timeout=timeout))
+
+
+class TestProtocolConfig:
+    def test_defaults(self):
+        config = ProtocolConfig()
+        assert config.timeout >= 1
+        assert config.pull_only_source is True
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(timeout=0)
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(maintenance_timeout=-1)
+
+
+class TestStepLoop:
+    def test_timeout_counter_accumulates_then_resets(self, overlay):
+        node = overlay.add_consumer(spec(1, 1), name="n")
+        filler = overlay.add_consumer(spec(9, 0), name="f")
+        overlay.attach(filler, overlay.source)  # source full
+        oracle = ScriptedOracle(overlay, [])
+        algo = make_algo(overlay, oracle, timeout=2)
+        algo.step(node)
+        assert node.rounds_without_parent == 1
+        algo.step(node)
+        assert node.rounds_without_parent == 2
+        algo.step(node)  # timeout fires: source contact (displaces filler)
+        assert node.rounds_without_parent == 0
+        assert node.parent is overlay.source
+
+    def test_referral_is_consumed_before_oracle(self, overlay):
+        a = overlay.add_consumer(spec(1, 1), name="a")
+        overlay.attach(a, overlay.source)
+        node = overlay.add_consumer(spec(2, 1), name="n")
+        oracle = ScriptedOracle(overlay, [])
+        algo = make_algo(overlay, oracle)
+        node.referral = a
+        algo.step(node)
+        assert oracle.queries == 0
+        assert node.parent is a
+        assert node.referral is None
+
+    def test_stale_offline_referral_falls_back_to_oracle(self, overlay):
+        a = overlay.add_consumer(spec(1, 1), name="a")
+        node = overlay.add_consumer(spec(2, 1), name="n")
+        overlay.attach(a, overlay.source)
+        overlay.detach(a)
+        overlay.go_offline(a)
+        node.referral = a
+        oracle = ScriptedOracle(overlay, [None])
+        algo = make_algo(overlay, oracle)
+        algo.step(node)
+        assert oracle.queries == 1
+        assert node.parent is None
+
+    def test_source_referral_triggers_source_contact(self, overlay):
+        node = overlay.add_consumer(spec(1, 1), name="n")
+        node.referral = overlay.source
+        algo = make_algo(overlay, ScriptedOracle(overlay, []))
+        algo.step(node)
+        assert node.parent is overlay.source
+        assert node.rounds_without_parent == 0
+
+    def test_oracle_miss_waits(self, overlay):
+        node = overlay.add_consumer(spec(1, 1), name="n")
+        oracle = ScriptedOracle(overlay, [None, None])
+        algo = make_algo(overlay, oracle, timeout=5)
+        algo.step(node)
+        algo.step(node)
+        assert node.parent is None
+        assert oracle.queries == 2
+
+    def test_same_fragment_partner_is_noop(self, overlay):
+        root = overlay.add_consumer(spec(2, 2), name="root")
+        child = overlay.add_consumer(spec(3, 1), name="child")
+        overlay.attach(child, root)
+        oracle = ScriptedOracle(overlay, [child])
+        algo = make_algo(overlay, oracle)
+        before = overlay.snapshot()
+        algo.step(root)
+        assert overlay.snapshot() == before
+
+    def test_step_noop_for_parented_offline_and_source(self, overlay):
+        a = overlay.add_consumer(spec(1, 1), name="a")
+        overlay.attach(a, overlay.source)
+        algo = make_algo(overlay, ScriptedOracle(overlay, []))
+        algo.step(a)  # parented
+        algo.step(overlay.source)  # source
+        b = overlay.add_consumer(spec(1, 1), name="b")
+        overlay.go_offline(b)
+        algo.step(b)  # offline
+        assert a.parent is overlay.source
+        assert b.parent is None
+
+
+class TestSourceContact:
+    def test_attach_when_capacity(self, overlay):
+        node = overlay.add_consumer(spec(1, 1), name="n")
+        algo = make_algo(overlay)
+        assert algo.contact_source(node)
+        assert node.parent is overlay.source
+
+    def test_displacement_prefers_laxest_victim(self):
+        overlay = Overlay(source_fanout=2)
+        lax = overlay.add_consumer(spec(9, 1), name="lax")
+        mid = overlay.add_consumer(spec(5, 1), name="mid")
+        overlay.attach(lax, overlay.source)
+        overlay.attach(mid, overlay.source)
+        node = overlay.add_consumer(spec(1, 1), name="n")
+        algo = make_algo(overlay)
+        assert algo.contact_source(node)
+        assert node.parent is overlay.source
+        assert lax.parent is node  # laxest was displaced (and adopted)
+        assert mid.parent is overlay.source
+
+    def test_no_candidates_returns_false(self, overlay):
+        strict = overlay.add_consumer(spec(1, 1), name="s")
+        overlay.attach(strict, overlay.source)
+        node = overlay.add_consumer(spec(2, 1), name="n")
+        algo = make_algo(overlay)
+        assert not algo.contact_source(node)

@@ -1,0 +1,183 @@
+"""Integration tests for the round-based construction simulator."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sim.asynchrony import AsynchronyConfig
+from repro.sim.churn import ChurnConfig
+from repro.sim.runner import Simulation, SimulationConfig, run_simulation
+from repro.workloads import make, make_workload, tf1_workload
+
+from tests.conftest import spec
+
+
+def tiny_workload():
+    """Feasible 6-consumer population that converges in a few rounds."""
+    return make_workload(
+        "tiny",
+        2,
+        [
+            ("a", spec(1, 2)),
+            ("b", spec(2, 2)),
+            ("c", spec(2, 1)),
+            ("d", spec(3, 1)),
+            ("e", spec(3, 0)),
+            ("f", spec(4, 0)),
+        ],
+    )
+
+
+class TestConfigValidation:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(algorithm="optimal")
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(oracle="psychic")
+
+    def test_with_replaces_fields(self):
+        config = SimulationConfig(seed=1)
+        assert config.with_(seed=9).seed == 9
+        assert config.seed == 1
+
+
+class TestBasicRuns:
+    @pytest.mark.parametrize("algorithm", ["greedy", "hybrid"])
+    def test_tiny_population_converges(self, algorithm):
+        result = run_simulation(
+            tiny_workload(),
+            SimulationConfig(algorithm=algorithm, seed=3, max_rounds=300),
+        )
+        assert result.converged
+        assert result.construction_rounds is not None
+        assert result.final_quality.converged
+
+    def test_result_is_reproducible(self):
+        config = SimulationConfig(seed=17, max_rounds=300)
+        a = run_simulation(tiny_workload(), config)
+        b = run_simulation(tiny_workload(), config)
+        assert a.construction_rounds == b.construction_rounds
+        assert a.attaches == b.attaches
+
+    def test_different_seeds_vary(self):
+        """Fig. 2's premise: run-to-run variation for a fixed setting."""
+        workload = tf1_workload(39)  # 3 + 9 + 27
+        rounds = {
+            run_simulation(
+                workload, SimulationConfig(seed=s, max_rounds=2000)
+            ).construction_rounds
+            for s in range(6)
+        }
+        assert len(rounds) > 1
+
+    def test_max_rounds_bounds_run(self):
+        workload = make("Adversarial")  # greedy can never converge on it
+        result = run_simulation(
+            workload, SimulationConfig(algorithm="greedy", seed=1, max_rounds=60)
+        )
+        assert not result.converged
+        assert result.rounds_run == 60
+
+    def test_series_lengths_match_rounds(self):
+        result = run_simulation(
+            tiny_workload(), SimulationConfig(seed=3, max_rounds=300)
+        )
+        assert len(result.satisfied_series) == result.rounds_run
+
+    def test_stop_at_convergence_false_keeps_running(self):
+        result = run_simulation(
+            tiny_workload(),
+            SimulationConfig(seed=3, max_rounds=50, stop_at_convergence=False),
+        )
+        assert result.rounds_run == 50
+
+    def test_overlay_integrity_every_round(self):
+        simulation = Simulation(
+            tiny_workload(), SimulationConfig(seed=3, max_rounds=100)
+        )
+        for _ in range(60):
+            simulation.run_round()
+            simulation.overlay.check_integrity()
+
+
+class TestChurnRuns:
+    def test_churn_run_has_departures(self):
+        result = run_simulation(
+            make("Rand", size=60, seed=2),
+            SimulationConfig(
+                seed=2,
+                max_rounds=200,
+                churn=ChurnConfig(0.05, 0.2),
+                stop_at_convergence=False,
+            ),
+        )
+        assert result.departures > 0
+        assert result.rejoins > 0
+
+    def test_integrity_under_churn(self):
+        simulation = Simulation(
+            make("Rand", size=60, seed=2),
+            SimulationConfig(
+                seed=2, max_rounds=200, churn=ChurnConfig(0.05, 0.3)
+            ),
+        )
+        for _ in range(150):
+            simulation.run_round()
+            simulation.overlay.check_integrity()
+
+    def test_churn_trace_is_seed_deterministic(self):
+        config = SimulationConfig(
+            seed=9, max_rounds=100, churn=ChurnConfig(), stop_at_convergence=False
+        )
+        a = run_simulation(make("Rand", size=50, seed=1), config)
+        b = run_simulation(make("Rand", size=50, seed=1), config)
+        assert a.departures == b.departures
+        assert a.satisfied_series == b.satisfied_series
+
+
+class TestAsynchronousRuns:
+    def test_async_converges_but_slower_on_average(self):
+        workload = make("Rand", size=60, seed=5)
+        sync_rounds, async_rounds = [], []
+        for seed in range(4):
+            sync = run_simulation(
+                workload, SimulationConfig(seed=seed, max_rounds=4000)
+            )
+            asyn = run_simulation(
+                workload,
+                SimulationConfig(
+                    seed=seed, max_rounds=4000, asynchrony=AsynchronyConfig(1, 4)
+                ),
+            )
+            assert sync.converged and asyn.converged
+            sync_rounds.append(sync.construction_rounds)
+            async_rounds.append(asyn.construction_rounds)
+        assert sum(async_rounds) > sum(sync_rounds)
+
+    def test_degenerate_async_equals_sync_shape(self):
+        workload = make("Rand", size=40, seed=6)
+        result = run_simulation(
+            workload,
+            SimulationConfig(
+                seed=6, max_rounds=2000, asynchrony=AsynchronyConfig(1, 1)
+            ),
+        )
+        assert result.converged
+
+
+class TestTrace:
+    def test_trace_recorded_when_enabled(self):
+        simulation = Simulation(
+            tiny_workload(),
+            SimulationConfig(seed=3, max_rounds=100, record_trace=True),
+        )
+        simulation.run()
+        assert simulation.trace is not None
+        assert len(simulation.trace.frames) == simulation.now
+
+    def test_trace_absent_by_default(self):
+        simulation = Simulation(
+            tiny_workload(), SimulationConfig(seed=3, max_rounds=10)
+        )
+        assert simulation.trace is None

@@ -1,0 +1,96 @@
+"""Direct unit tests for the staleness report (repro.feeds.staleness)."""
+
+from repro.core.tree import Overlay
+from repro.feeds.client import FeedConsumer
+from repro.feeds.items import FeedItem
+from repro.feeds.staleness import build_report
+
+from tests.conftest import build_chain, spec
+
+
+def make_setup():
+    """source <- a(l1) <- b(l2); c unrooted; consumers keyed by id."""
+    overlay = Overlay(source_fanout=1)
+    a = overlay.add_consumer(spec(1, 1), name="a")
+    b = overlay.add_consumer(spec(2, 1), name="b")
+    overlay.add_consumer(spec(2, 1), name="c")
+    build_chain(overlay, a, b)
+    consumers = {n.node_id: FeedConsumer(n.node_id) for n in overlay.consumers}
+    return overlay, consumers
+
+
+def deliver(consumers, node_id, seq, published, arrived):
+    consumers[node_id].deliver(
+        [FeedItem(seq=seq, title=f"i{seq}", published_at=published)], arrived
+    )
+
+
+class TestBuildReport:
+    def test_on_time_consumer_satisfied(self):
+        overlay, consumers = make_setup()
+        for seq in (1, 2, 3):
+            deliver(consumers, 1, seq, published=seq, arrived=seq + 0.5)
+        report = build_report(overlay, consumers, pull_period=1.0, published=3)
+        row = next(c for c in report.consumers if c.node_id == 1)
+        assert row.depth == 1
+        assert row.within_constraint
+        assert row.worst_staleness <= 1.0
+
+    def test_late_delivery_flags_violation(self):
+        overlay, consumers = make_setup()
+        deliver(consumers, 1, 1, published=1.0, arrived=4.0)  # 3 units stale
+        report = build_report(overlay, consumers, pull_period=1.0, published=3)
+        row = next(c for c in report.consumers if c.node_id == 1)
+        assert not row.within_constraint
+        assert report.worst_violation() > 0
+
+    def test_missing_old_items_flag_violation(self):
+        overlay, consumers = make_setup()
+        # b (depth 2) received nothing although 10 items are old enough.
+        report = build_report(overlay, consumers, pull_period=1.0, published=10)
+        row = next(c for c in report.consumers if c.node_id == 2)
+        assert row.expected > 0
+        assert row.received == 0
+        assert not row.within_constraint
+
+    def test_unrooted_consumer_expected_zero(self):
+        overlay, consumers = make_setup()
+        report = build_report(overlay, consumers, pull_period=1.0, published=10)
+        row = next(c for c in report.consumers if c.node_id == 3)
+        assert row.depth == 0
+        assert row.expected == 0
+
+    def test_satisfied_fraction_counts_rooted_only(self):
+        overlay, consumers = make_setup()
+        for node_id, depth in ((1, 1), (2, 2)):
+            for seq in range(1, 9):
+                deliver(
+                    consumers,
+                    node_id,
+                    seq,
+                    published=float(seq),
+                    arrived=seq + depth * 0.9,
+                )
+        report = build_report(overlay, consumers, pull_period=1.0, published=8)
+        assert report.satisfied_fraction == 1.0
+
+    def test_tail_items_not_required(self):
+        """Items newer than a node's depth window are not demanded."""
+        overlay, consumers = make_setup()
+        # b at depth 2 received items 1..7 of 10; 8..10 are within its
+        # in-flight tail (depth + 1 = 3), so nothing is 'missing'.
+        for seq in range(1, 8):
+            deliver(consumers, 2, seq, published=float(seq), arrived=seq + 1.5)
+        report = build_report(overlay, consumers, pull_period=1.0, published=10)
+        row = next(c for c in report.consumers if c.node_id == 2)
+        assert row.expected == 7
+        assert row.received == 7
+        assert row.within_constraint
+
+    def test_no_rooted_consumers_is_vacuously_satisfied(self):
+        overlay = Overlay(source_fanout=1)
+        overlay.add_consumer(spec(1, 1), name="lone")
+        consumers = {1: FeedConsumer(1)}
+        report = build_report(overlay, consumers, pull_period=1.0, published=5)
+        assert report.satisfied_fraction == 1.0
+        assert report.worst_violation() == 0.0

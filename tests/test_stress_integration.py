@@ -1,0 +1,111 @@
+"""Stress integrations: every hard mode at once.
+
+These runs combine features that are individually tested elsewhere —
+churn, asynchronous interactions, distributed oracles, both algorithms —
+and assert the system-level invariants that must survive any
+combination: structural integrity every round, no crashes, and bounded
+protocol state.
+"""
+
+import pytest
+
+from repro.sim.asynchrony import AsynchronyConfig
+from repro.sim.churn import ChurnConfig
+from repro.sim.runner import Simulation, SimulationConfig
+from repro.workloads import make as make_workload
+
+
+@pytest.mark.parametrize("algorithm", ["greedy", "hybrid"])
+def test_everything_at_once(algorithm):
+    """Churn + asynchrony + DHT oracle, integrity-checked every round."""
+    workload = make_workload("BiCorr", size=50, seed=9)
+    simulation = Simulation(
+        workload,
+        SimulationConfig(
+            algorithm=algorithm,
+            oracle="random-delay",
+            oracle_realization="dht",
+            seed=9,
+            churn=ChurnConfig(0.02, 0.25),
+            asynchrony=AsynchronyConfig(1, 3),
+            max_rounds=400,
+            stop_at_convergence=False,
+        ),
+    )
+    for _ in range(300):
+        simulation.run_round()
+        simulation.overlay.check_integrity()
+    result = simulation.result()
+    assert result.rounds_run == 300
+    assert result.departures > 0
+    # The overlay must be doing useful work, not frozen.
+    assert result.attaches > result.departures
+
+
+def test_random_walk_oracle_under_heavy_churn():
+    """The gossip substrate keeps serving samples as membership thrashes."""
+    workload = make_workload("Rand", size=40, seed=11)
+    simulation = Simulation(
+        workload,
+        SimulationConfig(
+            algorithm="hybrid",
+            oracle="random",
+            oracle_realization="random-walk",
+            seed=11,
+            churn=ChurnConfig(0.05, 0.3),
+            max_rounds=250,
+            stop_at_convergence=False,
+        ),
+    )
+    simulation.run()
+    oracle = simulation.oracle
+    assert oracle.hits > 0
+    # Gossip membership tracks overlay liveness exactly.
+    live = {n.node_id for n in simulation.overlay.online_consumers}
+    assert set(oracle.gossip.members()) == live
+
+
+def test_convergence_after_churn_stops():
+    """A battered overlay heals completely once churn ends."""
+    workload = make_workload("Rand", size=50, seed=13)
+    simulation = Simulation(
+        workload,
+        SimulationConfig(
+            algorithm="hybrid",
+            seed=13,
+            churn=ChurnConfig(0.03, 0.3),
+            max_rounds=10**9,
+            stop_at_convergence=False,
+        ),
+    )
+    for _ in range(200):
+        simulation.run_round()
+    # Stop churn; bring everyone back online; let construction finish.
+    simulation.churn.config = ChurnConfig(0.0, 1.0)
+    for _ in range(600):
+        simulation.run_round()
+        if simulation.overlay.is_converged():
+            break
+    assert simulation.overlay.is_converged()
+    simulation.overlay.check_integrity()
+
+
+def test_protocol_state_stays_bounded():
+    """Timers and counters never run away over a long churned run."""
+    workload = make_workload("BiCorr", size=40, seed=17)
+    simulation = Simulation(
+        workload,
+        SimulationConfig(
+            algorithm="hybrid",
+            seed=17,
+            churn=ChurnConfig(),
+            max_rounds=500,
+            stop_at_convergence=False,
+        ),
+    )
+    simulation.run()
+    timeout = simulation.config.protocol.timeout
+    maintenance = simulation.config.protocol.maintenance_timeout
+    for node in simulation.overlay.consumers:
+        assert 0 <= node.rounds_without_parent <= timeout + 1
+        assert 0 <= node.violation_rounds <= maintenance + 1

@@ -1,0 +1,146 @@
+"""Unit tests for the §3.3 existence condition and feasibility search."""
+
+import pytest
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import ConfigurationError
+from repro.core.sufficiency import (
+    build_configuration,
+    check_depth_assignment,
+    find_feasible_configuration,
+    first_violating_latency,
+    latency_classes,
+    max_admissible_class_size,
+    sufficiency_holds,
+)
+from repro.workloads.adversarial import (
+    ADVERSARIAL_SOURCE_FANOUT,
+    adversarial_population,
+    paper_adversarial_population,
+)
+from repro.workloads.tf1 import tf1_population
+
+from tests.conftest import spec
+
+
+class TestSufficiencyCondition:
+    def test_empty_population_trivially_holds(self):
+        assert sufficiency_holds(1, [])
+
+    def test_tf1_is_exactly_tight(self):
+        """Tf1 saturates capacity: feasible as-is, infeasible with one more
+        node in any tier."""
+        population = [s for _, s in tf1_population(120, fanout=3)]
+        assert sufficiency_holds(3, population)
+        assert not sufficiency_holds(3, population + [spec(4, 3)])
+        assert not sufficiency_holds(3, population + [spec(1, 3)])
+
+    def test_single_node_needs_source_slot(self):
+        assert sufficiency_holds(1, [spec(1, 0)])
+        assert not sufficiency_holds(0, [spec(1, 0)])
+
+    def test_capacity_carries_over_levels(self):
+        # One l=1 node with fanout 3 leaves 2 unused slots at level 2,
+        # usable by l=3 nodes even though N_2 is empty.
+        population = [spec(1, 3), spec(3, 0), spec(3, 0), spec(3, 0)]
+        assert sufficiency_holds(1, population)
+        assert not sufficiency_holds(1, population + [spec(3, 0)])
+
+    def test_first_violating_latency_reports_class(self):
+        population = [spec(1, 0), spec(1, 0)]
+        assert first_violating_latency(1, population) == 1
+        assert first_violating_latency(2, population) is None
+
+    def test_adversarial_population_violates_sufficiency(self):
+        specs = [s for _, s in adversarial_population()]
+        assert not sufficiency_holds(ADVERSARIAL_SOURCE_FANOUT, specs)
+        assert first_violating_latency(ADVERSARIAL_SOURCE_FANOUT, specs) == 4
+
+    def test_max_admissible_class_size(self):
+        population = [spec(1, 3)]
+        # After one l=1 node (fanout 3): 2 source slots left for class 1...
+        assert max_admissible_class_size(3, population, 1) == 2
+        # ...and 2 + 3 slots reachable by class-2 nodes.
+        assert max_admissible_class_size(3, population, 2) == 5
+
+    def test_latency_classes_groups(self):
+        population = [spec(1, 1), spec(2, 1), spec(2, 2)]
+        classes = latency_classes(population)
+        assert len(classes[1]) == 1 and len(classes[2]) == 2
+
+
+class TestDepthAssignments:
+    def test_valid_assignment_accepted(self):
+        population = [spec(1, 1), spec(2, 0)]
+        assert check_depth_assignment(1, population, [1, 2])
+
+    def test_depth_beyond_constraint_rejected(self):
+        population = [spec(1, 1)]
+        assert not check_depth_assignment(1, population, [2])
+
+    def test_overfull_level_rejected(self):
+        population = [spec(1, 1), spec(1, 1)]
+        assert not check_depth_assignment(1, population, [1, 1])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ConfigurationError):
+            check_depth_assignment(1, [spec(1, 1)], [1, 2])
+
+    def test_depth_must_hang_off_previous_level(self):
+        # A node at depth 3 needs capacity at depth 2; none exists here.
+        population = [spec(1, 1), spec(3, 0)]
+        assert not check_depth_assignment(1, population, [1, 3])
+
+
+class TestFeasibilitySearch:
+    def test_finds_configuration_for_repaired_adversarial(self):
+        specs = [s for _, s in adversarial_population()]
+        assignment = find_feasible_configuration(ADVERSARIAL_SOURCE_FANOUT, specs)
+        assert assignment is not None
+        # The only feasible shape: the chain 1,2 then 3 at depth 3 with 4,5 under it.
+        assert assignment[0] == 1 and assignment[1] == 2 and assignment[2] == 3
+        assert assignment[3] == 4 and assignment[4] == 4
+
+    def test_paper_verbatim_population_is_infeasible(self):
+        """Documents the off-by-one in the printed §3.3.1 example: under the
+        paper's own Fig. 1 delay model, no configuration exists."""
+        specs = [s for _, s in paper_adversarial_population()]
+        assert find_feasible_configuration(ADVERSARIAL_SOURCE_FANOUT, specs) is None
+
+    def test_infeasible_population_returns_none(self):
+        assert find_feasible_configuration(1, [spec(1, 0), spec(1, 0)]) is None
+
+    def test_too_many_nodes_raises(self):
+        with pytest.raises(ConfigurationError):
+            find_feasible_configuration(1, [spec(2, 1)] * 20)
+
+    def test_search_space_guard(self):
+        with pytest.raises(ConfigurationError):
+            find_feasible_configuration(1, [spec(10**6, 1)] * 8)
+
+    def test_sufficiency_implies_feasibility_small_cases(self):
+        populations = [
+            [spec(1, 2), spec(2, 1), spec(2, 0)],
+            [spec(1, 1), spec(2, 2), spec(3, 0), spec(3, 0)],
+            [spec(2, 1), spec(2, 1), spec(3, 1)],
+        ]
+        for population in populations:
+            if sufficiency_holds(2, population):
+                assert find_feasible_configuration(2, population) is not None
+
+
+class TestBuildConfiguration:
+    def test_materializes_assignment(self):
+        population = adversarial_population()
+        specs = [s for _, s in population]
+        assignment = find_feasible_configuration(ADVERSARIAL_SOURCE_FANOUT, specs)
+        overlay = build_configuration(
+            ADVERSARIAL_SOURCE_FANOUT, population, assignment
+        )
+        overlay.check_integrity()
+        assert overlay.is_converged()
+
+    def test_unrealizable_assignment_raises(self):
+        population = [("a", spec(1, 1)), ("b", spec(1, 1))]
+        with pytest.raises(ConfigurationError):
+            build_configuration(1, population, {0: 1, 1: 1})

@@ -1,0 +1,298 @@
+"""Unit tests for repro.core.tree (Overlay structure and delay model)."""
+
+import pytest
+
+from repro.core.errors import (
+    FanoutExceededError,
+    OfflineNodeError,
+    TopologyError,
+    UnknownNodeError,
+)
+from repro.core.tree import Overlay
+
+from tests.conftest import build_chain, spec
+
+
+class TestPopulation:
+    def test_source_exists_with_id_zero(self):
+        overlay = Overlay(source_fanout=3)
+        assert overlay.source.is_source
+        assert overlay.source.node_id == 0
+        assert overlay.source.fanout == 3
+
+    def test_add_consumer_assigns_sequential_ids(self):
+        overlay = Overlay(source_fanout=1)
+        a = overlay.add_consumer(spec(1, 1))
+        b = overlay.add_consumer(spec(2, 1))
+        assert (a.node_id, b.node_id) == (1, 2)
+
+    def test_consumers_excludes_source(self):
+        overlay = Overlay(source_fanout=1)
+        overlay.add_consumer(spec(1, 1))
+        assert len(overlay.consumers) == 1
+        assert len(overlay) == 2
+
+    def test_node_lookup_unknown_raises(self):
+        overlay = Overlay(source_fanout=1)
+        with pytest.raises(UnknownNodeError):
+            overlay.node(99)
+
+    def test_contains_is_identity_based(self):
+        overlay = Overlay(source_fanout=1)
+        a = overlay.add_consumer(spec(1, 1))
+        other = Overlay(source_fanout=1)
+        foreign = other.add_consumer(spec(1, 1))
+        assert a in overlay
+        assert foreign not in overlay
+
+
+class TestAttachDetach:
+    def test_attach_sets_both_links(self, small_overlay):
+        a = small_overlay.node(1)
+        small_overlay.attach(a, small_overlay.source)
+        assert a.parent is small_overlay.source
+        assert a in small_overlay.source.children
+
+    def test_attach_to_full_parent_raises(self, small_overlay):
+        a, b, c = (small_overlay.node(i) for i in (1, 2, 3))
+        small_overlay.attach(a, small_overlay.source)
+        small_overlay.attach(b, small_overlay.source)
+        with pytest.raises(FanoutExceededError):
+            small_overlay.attach(c, small_overlay.source)
+
+    def test_attach_zero_fanout_parent_raises(self, small_overlay):
+        d = small_overlay.node(4)  # fanout 0
+        a = small_overlay.node(1)
+        with pytest.raises(FanoutExceededError):
+            small_overlay.attach(a, d)
+
+    def test_attach_already_parented_raises(self, small_overlay):
+        a = small_overlay.node(1)
+        small_overlay.attach(a, small_overlay.source)
+        with pytest.raises(TopologyError):
+            small_overlay.attach(a, small_overlay.node(2))
+
+    def test_attach_self_raises(self, small_overlay):
+        a = small_overlay.node(1)
+        with pytest.raises(TopologyError):
+            small_overlay.attach(a, a)
+
+    def test_attach_cycle_raises(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(b, a)
+        with pytest.raises(TopologyError):
+            small_overlay.attach(a, b)
+
+    def test_attach_deep_cycle_raises(self, small_overlay):
+        a, b, c = (small_overlay.node(i) for i in (1, 2, 3))
+        small_overlay.attach(b, a)
+        small_overlay.attach(c, b)
+        with pytest.raises(TopologyError):
+            small_overlay.attach(a, c)
+
+    def test_source_cannot_get_parent(self, small_overlay):
+        a = small_overlay.node(1)
+        with pytest.raises(TopologyError):
+            small_overlay.attach(small_overlay.source, a)
+
+    def test_attach_offline_raises(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.go_offline(b)
+        with pytest.raises(OfflineNodeError):
+            small_overlay.attach(b, a)
+
+    def test_detach_returns_former_parent(self, small_overlay):
+        a = small_overlay.node(1)
+        small_overlay.attach(a, small_overlay.source)
+        assert small_overlay.detach(a) is small_overlay.source
+        assert a.parent is None
+        assert a not in small_overlay.source.children
+
+    def test_detach_parentless_raises(self, small_overlay):
+        with pytest.raises(TopologyError):
+            small_overlay.detach(small_overlay.node(1))
+
+    def test_detach_keeps_subtree(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(a, small_overlay.source)
+        small_overlay.attach(b, a)
+        small_overlay.detach(a)
+        assert b.parent is a  # the fragment survives intact
+
+    def test_mutation_counters(self, small_overlay):
+        a = small_overlay.node(1)
+        small_overlay.attach(a, small_overlay.source)
+        small_overlay.detach(a)
+        assert small_overlay.attach_count == 1
+        assert small_overlay.detach_count == 1
+
+
+class TestDelayModel:
+    def test_source_delay_is_zero(self, small_overlay):
+        assert small_overlay.delay_at(small_overlay.source) == 0
+
+    def test_direct_child_delay_is_one(self, small_overlay):
+        a = small_overlay.node(1)
+        small_overlay.attach(a, small_overlay.source)
+        assert small_overlay.delay_at(a) == 1
+
+    def test_fig1_chain_delays(self):
+        """c <- b <- a <- 0 gives delays 1, 2, 3 (paper Fig. 1 narrative)."""
+        overlay = Overlay(source_fanout=3)
+        a = overlay.add_consumer(spec(1, 2), name="a")
+        b = overlay.add_consumer(spec(3, 2), name="b")
+        c = overlay.add_consumer(spec(3, 2), name="c")
+        build_chain(overlay, a, b, c)
+        assert [overlay.delay_at(n) for n in (a, b, c)] == [1, 2, 3]
+        assert all(overlay.meets_latency(n) for n in (a, b, c))
+
+    def test_unrooted_fragment_potential_delay(self, small_overlay):
+        """A parentless root has potential delay 1; children count from it."""
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(b, a)
+        assert small_overlay.delay_at(a) == 1
+        assert small_overlay.delay_at(b) == 2
+        assert not small_overlay.is_rooted(a)
+
+    def test_rooting_converts_potential_to_actual(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(b, a)
+        small_overlay.attach(a, small_overlay.source)
+        assert small_overlay.delay_at(b) == 2
+        assert small_overlay.is_rooted(b)
+
+    def test_meets_latency_requires_rooted(self, small_overlay):
+        b = small_overlay.node(2)  # l=3, potential delay 1 but unrooted
+        assert not small_overlay.meets_latency(b)
+
+    def test_fragment_root_walks_to_top(self, small_overlay):
+        a, b, c = (small_overlay.node(i) for i in (1, 2, 3))
+        small_overlay.attach(b, a)
+        small_overlay.attach(c, b)
+        assert small_overlay.fragment_root(c) is a
+        assert small_overlay.fragment_root(a) is a
+
+
+class TestTraversal:
+    def test_subtree_preorder(self, small_overlay):
+        a, b, c = (small_overlay.node(i) for i in (1, 2, 3))
+        small_overlay.attach(b, a)
+        small_overlay.attach(c, a)
+        assert [n.name for n in small_overlay.subtree(a)] == ["a", "b", "c"]
+
+    def test_descendants_excludes_self(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(b, a)
+        assert [n.name for n in small_overlay.descendants(a)] == ["b"]
+
+    def test_is_descendant(self, small_overlay):
+        a, b, c = (small_overlay.node(i) for i in (1, 2, 3))
+        small_overlay.attach(b, a)
+        small_overlay.attach(c, b)
+        assert small_overlay.is_descendant(c, a)
+        assert not small_overlay.is_descendant(a, c)
+
+    def test_fragments_lists_source_plus_roots(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(b, a)
+        roots = small_overlay.fragments()
+        names = {n.name for n in roots}
+        assert small_overlay.source in roots
+        assert "a" in names and "b" not in names
+
+
+class TestChurnTransitions:
+    def test_go_offline_orphans_children(self, small_overlay):
+        a, b, c = (small_overlay.node(i) for i in (1, 2, 3))
+        small_overlay.attach(a, small_overlay.source)
+        small_overlay.attach(b, a)
+        small_overlay.attach(c, a)
+        orphans = small_overlay.go_offline(a)
+        assert set(orphans) == {b, c}
+        assert b.parent is None and c.parent is None
+        assert not a.online
+        assert not a.children
+
+    def test_orphans_get_grandparent_referral(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(a, small_overlay.source)
+        small_overlay.attach(b, a)
+        small_overlay.go_offline(a)
+        assert b.referral is small_overlay.source
+
+    def test_go_offline_source_raises(self, small_overlay):
+        with pytest.raises(TopologyError):
+            small_overlay.go_offline(small_overlay.source)
+
+    def test_double_offline_raises(self, small_overlay):
+        a = small_overlay.node(1)
+        small_overlay.go_offline(a)
+        with pytest.raises(OfflineNodeError):
+            small_overlay.go_offline(a)
+
+    def test_go_online_resets_protocol_state(self, small_overlay):
+        a = small_overlay.node(1)
+        a.rounds_without_parent = 7
+        small_overlay.go_offline(a)
+        small_overlay.go_online(a)
+        assert a.online
+        assert a.rounds_without_parent == 0
+
+    def test_online_consumers_tracks_liveness(self, small_overlay):
+        a = small_overlay.node(1)
+        small_overlay.go_offline(a)
+        assert a not in small_overlay.online_consumers
+
+
+class TestIntegrityAndRendering:
+    def test_check_integrity_passes_on_valid_tree(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(a, small_overlay.source)
+        small_overlay.attach(b, a)
+        small_overlay.check_integrity()
+
+    def test_check_integrity_detects_broken_backlink(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(b, a)
+        b.parent = None  # corrupt directly
+        with pytest.raises(TopologyError):
+            small_overlay.check_integrity()
+
+    def test_render_mentions_every_online_node(self, small_overlay):
+        a = small_overlay.node(1)
+        small_overlay.attach(a, small_overlay.source)
+        text = small_overlay.render()
+        for name in ("a", "b", "c", "d"):
+            assert name in text
+
+    def test_snapshot_parent_map(self, small_overlay):
+        a, b = small_overlay.node(1), small_overlay.node(2)
+        small_overlay.attach(a, small_overlay.source)
+        small_overlay.attach(b, a)
+        snap = small_overlay.snapshot()
+        assert snap[a.node_id] == 0
+        assert snap[b.node_id] == a.node_id
+        assert snap[3] is None
+
+
+class TestConvergencePredicates:
+    def test_empty_population_is_converged(self):
+        overlay = Overlay(source_fanout=1)
+        assert overlay.is_converged()
+        assert overlay.satisfied_fraction() == 1.0
+
+    def test_satisfied_fraction_counts_online_only(self, small_overlay):
+        a = small_overlay.node(1)
+        small_overlay.attach(a, small_overlay.source)
+        for node_id in (2, 3, 4):
+            small_overlay.go_offline(small_overlay.node(node_id))
+        assert small_overlay.satisfied_fraction() == 1.0
+        assert small_overlay.is_converged()
+
+    def test_violated_node_breaks_convergence(self):
+        overlay = Overlay(source_fanout=1)
+        a = overlay.add_consumer(spec(1, 1), name="a")
+        b = overlay.add_consumer(spec(1, 1), name="b")  # l=1 at depth 2: violated
+        build_chain(overlay, a, b)
+        assert not overlay.is_converged()
+        assert overlay.satisfied_fraction() == 0.5
