@@ -1,10 +1,11 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Four commands cover the common workflows:
+Five commands cover the common workflows:
 
 ``build``
     Run one construction and report the outcome (optionally render the
-    tree and run a feed-delivery check over it).
+    tree, run a feed-delivery check, or export a JSONL protocol trace
+    with ``--trace-out``).
 ``workload``
     Describe a workload family instance: constraint histograms and
     whether the §3.3 sufficiency condition holds.
@@ -13,10 +14,14 @@ Four commands cover the common workflows:
     ``name_f^l`` notation (exact search + sufficiency condition).
 ``experiment``
     Run one of the full-scale paper experiments by name.
+``obs``
+    Observability tools over exported traces (``obs summarize``).
 
 Examples::
 
     python -m repro.cli build --workload BiCorr --algorithm hybrid --render
+    python -m repro.cli build --workload Rand --trace-out run.jsonl
+    python -m repro.cli obs summarize run.jsonl
     python -m repro.cli workload --workload Tf1 --size 120
     python -m repro.cli feasibility --source-fanout 1 "1_1^1 2_1^2 3_2^5 4_1^4 5_0^4"
     python -m repro.cli experiment figure3
@@ -91,6 +96,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the final overlay as a Graphviz DOT file",
     )
+    build.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record every protocol event and write a JSONL trace "
+        "(summarize it with 'repro obs summarize PATH')",
+    )
 
     workload = commands.add_parser("workload", help="describe a workload")
     workload.add_argument("--workload", default="Rand", choices=family_names())
@@ -116,6 +128,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="run a full-scale paper experiment"
     )
     experiment.add_argument("name", choices=EXPERIMENTS)
+
+    obs = commands.add_parser(
+        "obs", help="observability tools over exported traces"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_commands.add_parser(
+        "summarize",
+        help="render event counts and timing breakdowns of a JSONL trace",
+    )
+    summarize.add_argument("trace", help="trace file written by build --trace-out")
     return parser
 
 
@@ -127,6 +149,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
     else:
         workload = make_workload(args.workload, size=args.size, seed=args.seed)
     print(workload.describe())
+    probe = None
+    if args.trace_out:
+        from repro.obs import RecordingProbe
+
+        probe = RecordingProbe()
     config = SimulationConfig(
         algorithm=args.algorithm,
         oracle=args.oracle,
@@ -135,7 +162,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         churn=ChurnConfig() if args.churn else None,
     )
-    simulation = Simulation(workload, config)
+    simulation = Simulation(workload, config, probe=probe)
     result = simulation.run()
     print(
         ascii_table(
@@ -160,6 +187,23 @@ def _cmd_build(args: argparse.Namespace) -> int:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(overlay_to_dot(simulation.overlay, workload.name))
         print(f"\nwrote {args.dot}")
+    if args.trace_out:
+        from repro.obs.export import write_trace
+
+        count = write_trace(
+            args.trace_out,
+            probe.events,
+            phase_timings=simulation.timings.summary(),
+            registry=probe.registry,
+            header_extra={
+                "workload": workload.name,
+                "algorithm": args.algorithm,
+                "oracle": args.oracle,
+                "seed": args.seed,
+                "rounds": result.rounds_run,
+            },
+        )
+        print(f"\nwrote {count} events to {args.trace_out}")
     if args.deliver:
         from repro.feeds import disseminate
 
@@ -221,6 +265,56 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import (
+        event_count_rows,
+        histogram_rows,
+        phase_timing_rows,
+        read_trace,
+    )
+
+    try:
+        trace = read_trace(args.trace)
+    except OSError as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(
+            f"error: {args.trace} is not a JSONL trace ({error})",
+            file=sys.stderr,
+        )
+        return 2
+    header = trace.header
+    described = ", ".join(
+        f"{key}={header[key]}"
+        for key in ("workload", "algorithm", "oracle", "seed", "rounds")
+        if key in header
+    )
+    if described:
+        print(f"trace: {described}")
+    print(f"{len(trace.events)} events over {trace.rounds()} rounds")
+    print()
+    print(ascii_table(["event", "count", "per round"], event_count_rows(trace)))
+    timing_rows = phase_timing_rows(trace)
+    if timing_rows:
+        print()
+        print(
+            ascii_table(
+                ["phase", "seconds", "calls", "share"],
+                [[p, s, c, f"{share:.1%}"] for p, s, c, share in timing_rows],
+            )
+        )
+    metric_rows = histogram_rows(trace)
+    if metric_rows:
+        print()
+        print(
+            ascii_table(["histogram", "count", "mean", "min", "max"], metric_rows)
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -232,6 +326,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_feasibility(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -63,6 +63,12 @@ def _same_fragment(overlay: Overlay, a: Node, b: Node) -> bool:
     return overlay.fragment_root(a) is overlay.fragment_root(b)
 
 
+def _reject(overlay: Overlay, child: Node, parent: Node, reason: str) -> bool:
+    """Emit an :class:`~repro.obs.events.AttachReject` and return False."""
+    overlay.probe.attach_reject(child.node_id, parent.node_id, reason)
+    return False
+
+
 def try_attach(
     overlay: Overlay,
     child: Node,
@@ -76,17 +82,17 @@ def try_attach(
     position is within its own latency constraint.
     """
     if not child.online or not parent.online:
-        return False
+        return _reject(overlay, child, parent, "offline")
     if child.parent is not None or child is parent or child.is_source:
-        return False
+        return _reject(overlay, child, parent, "not-parentless")
     if parent.free_fanout <= 0:
-        return False
+        return _reject(overlay, child, parent, "no-fanout")
     if overlay.is_descendant(parent, child):
-        return False
+        return _reject(overlay, child, parent, "cycle")
     if not parent.is_source and not edge_ok(parent, child):
-        return False
+        return _reject(overlay, child, parent, "edge-policy")
     if not _fits_latency(overlay, parent, child):
-        return False
+        return _reject(overlay, child, parent, "latency")
     overlay.attach(child, parent)
     return True
 
@@ -161,7 +167,7 @@ def try_displace_child(
             victim = max(candidates, key=lambda m: (m.latency, -m.fanout))
             if incoming.free_fanout <= 0:
                 shed_one_child(overlay, incoming)
-            overlay.detach(victim)
+            overlay.detach(victim, reason="displace")
             overlay.attach(incoming, parent)
             overlay.attach(victim, incoming)
             return True
@@ -175,10 +181,13 @@ def try_displace_child(
     if not orphanable:
         return False
     victim = max(orphanable, key=lambda m: (m.latency, -m.fanout))
-    overlay.detach(victim)
+    overlay.detach(victim, reason="displace-orphan")
     victim.rounds_without_parent = 0
     overlay.attach(incoming, parent)
     victim.referral = incoming if incoming.free_fanout > 0 else parent
+    overlay.probe.referral(
+        victim.node_id, victim.referral.node_id, "displacement"
+    )
     return True
 
 
@@ -193,7 +202,7 @@ def shed_one_child(overlay: Overlay, node: Node) -> Optional[Node]:
     if not node.children:
         return None
     victim = max(node.children, key=lambda m: (m.latency, m.free_fanout))
-    overlay.detach(victim)
+    overlay.detach(victim, reason="shed")
     victim.rounds_without_parent = 0
     return victim
 
@@ -240,7 +249,7 @@ def try_insert_between(
             return False
         # Shedding only helps if it actually frees a slot for `child`.
         shed_one_child(overlay, incoming)
-    overlay.detach(child)
+    overlay.detach(child, reason="splice")
     overlay.attach(incoming, parent)
     overlay.attach(child, incoming)
     return True
@@ -273,7 +282,7 @@ def try_displace_at_source(
         return False
     if _same_fragment(overlay, incoming, victim):
         return False
-    overlay.detach(victim)
+    overlay.detach(victim, reason="displace")
     victim.rounds_without_parent = 0
     overlay.attach(incoming, source)
     adopted = False
@@ -285,4 +294,5 @@ def try_displace_at_source(
             adopted = True
     if not adopted:
         victim.referral = incoming
+        overlay.probe.referral(victim.node_id, incoming.node_id, "displacement")
     return True

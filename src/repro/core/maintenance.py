@@ -40,12 +40,18 @@ def greedy_maintenance(overlay: Overlay, node: Node) -> bool:
     if overlay.delay_at(node) != node.latency + 1:
         return False
     former_parent = node.parent
-    overlay.detach(node)
+    overlay.probe.maintenance_trigger(
+        node.node_id, "greedy", node.latency + 1, node.latency
+    )
+    overlay.detach(node, reason="maintenance")
     node.rounds_without_parent = 0
     # The node knows its upstream chain (§2.1.3): being exactly one hop too
     # deep, its former grandparent is where it needs to sit — start there.
     if former_parent is not None and former_parent.parent is not None:
         node.referral = former_parent.parent
+        overlay.probe.referral(
+            node.node_id, former_parent.parent.node_id, "maintenance"
+        )
     return True
 
 
@@ -66,7 +72,8 @@ def hybrid_maintenance(
     """
     if node.parent is None or node.is_source or not node.online:
         return False
-    violated = overlay.is_rooted(node) and overlay.delay_at(node) > node.latency
+    delay = overlay.delay_at(node)
+    violated = overlay.is_rooted(node) and delay > node.latency
     if not violated:
         node.violation_rounds = 0
         return False
@@ -84,11 +91,13 @@ def hybrid_maintenance(
         and overlay.delay_at(ancestor) >= node.latency
     ):
         ancestor = ancestor.parent
-    overlay.detach(node)
+    overlay.probe.maintenance_trigger(node.node_id, "hybrid", delay, node.latency)
+    overlay.detach(node, reason="maintenance")
     node.violation_rounds = 0
     node.rounds_without_parent = 0
     if ancestor is not None:
         node.referral = ancestor
+        overlay.probe.referral(node.node_id, ancestor.node_id, "maintenance")
     return True
 
 
@@ -102,8 +111,10 @@ def eager_maintenance(overlay: Overlay, node: Node) -> bool:
     """
     if node.parent is None or node.is_source or not node.online:
         return False
-    if overlay.delay_at(node) <= node.latency:
+    delay = overlay.delay_at(node)
+    if delay <= node.latency:
         return False
-    overlay.detach(node)
+    overlay.probe.maintenance_trigger(node.node_id, "eager", delay, node.latency)
+    overlay.detach(node, reason="maintenance")
     node.rounds_without_parent = 0
     return True

@@ -93,6 +93,11 @@ class ConstructionAlgorithm(abc.ABC):
         self.oracle = oracle
         self.config = config if config is not None else ProtocolConfig()
 
+    @property
+    def probe(self):
+        """The run's observability probe (shared through the overlay)."""
+        return self.overlay.probe
+
     # ------------------------------------------------------------------
     # outer loop, one step of a parentless node
     # ------------------------------------------------------------------
@@ -109,6 +114,7 @@ class ConstructionAlgorithm(abc.ABC):
         node.rounds_without_parent += 1
         if node.rounds_without_parent > self.config.timeout:
             node.rounds_without_parent = 0
+            self.probe.timeout(node.node_id)
             self.contact_source(node)
             return
         partner = self._next_partner(node)

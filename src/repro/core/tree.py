@@ -38,6 +38,7 @@ from repro.core.errors import (
     UnknownNodeError,
 )
 from repro.core.node import SOURCE_ID, Node, NodeId
+from repro.obs.probe import NULL_PROBE, Probe
 
 
 class Overlay:
@@ -62,6 +63,11 @@ class Overlay:
         #: reconfiguration-cost metrics: ``attaches`` and ``detaches``.
         self.attach_count = 0
         self.detach_count = 0
+        #: Observability tap (:mod:`repro.obs`): every structural mutation
+        #: is reported here.  The default :data:`~repro.obs.probe.NULL_PROBE`
+        #: records nothing; :class:`repro.sim.runner.Simulation` installs
+        #: the run's probe.
+        self.probe: Probe = NULL_PROBE
 
     # ------------------------------------------------------------------
     # population management
@@ -250,12 +256,15 @@ class Overlay:
         child.parent = parent
         parent.children.append(child)
         self.attach_count += 1
+        self.probe.attach(child.node_id, parent.node_id)
 
-    def detach(self, child: Node) -> Node:
+    def detach(self, child: Node, reason: str = "detach") -> Node:
         """Sever ``child`` from its parent (the paper's ``j -/-> i``).
 
         Returns the former parent.  The child keeps its own subtree and
-        becomes a fragment root.
+        becomes a fragment root.  ``reason`` only annotates the emitted
+        :class:`~repro.obs.events.Detach` event (which mechanism severed
+        the edge); it never changes behaviour.
         """
         parent = child.parent
         if parent is None:
@@ -263,6 +272,7 @@ class Overlay:
         parent.children.remove(child)
         child.parent = None
         self.detach_count += 1
+        self.probe.detach(child.node_id, parent.node_id, reason)
         return parent
 
     # ------------------------------------------------------------------
@@ -282,16 +292,20 @@ class Overlay:
             raise OfflineNodeError(f"{node!r} is already offline")
         grandparent = node.parent
         if node.parent is not None:
-            self.detach(node)
+            self.detach(node, reason="churn")
         orphans = list(node.children)
         for child in orphans:
             child.parent = None
             child.rounds_without_parent = 0
+            # Not counted in detach_count (orphaning is the departing
+            # node's doing, not a reconfiguration) but still observable.
+            self.probe.detach(child.node_id, node.node_id, "churn-orphan")
             # Chain metadata is piggy-backed along the chain (§2.1.3), so
             # an orphan knows its former grandparent — the natural first
             # candidate for re-attachment (it just lost a child slot).
             if grandparent is not None and grandparent.online:
                 child.referral = grandparent
+                self.probe.referral(child.node_id, grandparent.node_id, "churn")
         node.children.clear()
         node.online = False
         node.reset_protocol_state()

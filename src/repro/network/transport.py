@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional, Protocol
 from repro.core.errors import ConfigurationError
 from repro.network.latency import ConstantLatency, LatencyModel
 from repro.network.message import Message
+from repro.obs.probe import NULL_PROBE, Probe
 from repro.sim.engine import EventScheduler
 
 
@@ -35,6 +36,7 @@ class Network:
         latency_model: Optional[LatencyModel] = None,
         loss_probability: float = 0.0,
         rng: Optional[random.Random] = None,
+        probe: Optional[Probe] = None,
     ) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ConfigurationError("loss_probability must be in [0, 1)")
@@ -44,6 +46,7 @@ class Network:
         self.latency_model = latency_model or ConstantLatency(1.0)
         self.loss_probability = loss_probability
         self.rng = rng
+        self.probe = probe if probe is not None else NULL_PROBE
         self._endpoints: Dict[Any, Endpoint] = {}
         #: Delivery statistics.
         self.sent = 0
@@ -76,6 +79,7 @@ class Network:
             sent_at=self.scheduler.now,
         )
         self.sent += 1
+        self.probe.message_send(sender, recipient, kind)
         if self.loss_probability > 0.0 and self.rng.random() < self.loss_probability:
             self.dropped_loss += 1
             return message

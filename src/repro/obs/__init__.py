@@ -1,0 +1,65 @@
+"""Run observability: protocol events, probes, counters, timing, export.
+
+The measurement substrate for the reproduction.  The protocol stack
+emits structured events through a :class:`Probe`
+(:class:`NullProbe` by default — zero-cost, RNG-silent); a
+:class:`RecordingProbe` captures them as typed
+:mod:`repro.obs.events` plus live aggregates, and
+:mod:`repro.obs.export` round-trips traces through JSONL for the
+``repro obs summarize`` CLI.
+"""
+
+from repro.obs.counters import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.events import (
+    AttachAccept,
+    AttachReject,
+    ChurnLeave,
+    ChurnRejoin,
+    Detach,
+    Event,
+    EVENT_TYPES,
+    MaintenanceTrigger,
+    MessageSend,
+    OracleMiss,
+    OracleQuery,
+    Referral,
+    Timeout,
+    event_from_dict,
+)
+from repro.obs.export import Trace, read_trace, write_trace
+from repro.obs.probe import NULL_PROBE, NullProbe, Probe, RecordingProbe
+from repro.obs.timing import PhaseTimings
+
+__all__ = [
+    "AttachAccept",
+    "AttachReject",
+    "ChurnLeave",
+    "ChurnRejoin",
+    "Counter",
+    "Detach",
+    "EVENT_TYPES",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MaintenanceTrigger",
+    "MessageSend",
+    "MetricsRegistry",
+    "NULL_PROBE",
+    "NullProbe",
+    "OracleMiss",
+    "OracleQuery",
+    "PhaseTimings",
+    "Probe",
+    "RecordingProbe",
+    "Referral",
+    "Timeout",
+    "Trace",
+    "event_from_dict",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,178 @@
+"""Counter / gauge / histogram registry for run statistics.
+
+The protocol emits *events* (:mod:`repro.obs.events`); what experiments
+usually want are *aggregates* — how many oracle answers were wasted, how
+long referral chains get, where the wall-clock goes.  This module holds
+the aggregate side: named counters, gauges and histograms collected in a
+:class:`MetricsRegistry`, serializable via :meth:`MetricsRegistry.snapshot`
+and renderable through :func:`repro.analysis.reporting.ascii_table`.
+
+Everything here is deterministic and RNG-free: observing a value never
+draws randomness and never perturbs a simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default geometric histogram bucket bounds (upper-inclusive); values
+#: above the last bound land in the overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A streaming histogram: count/sum/min/max plus bucket counts.
+
+    Buckets are upper-inclusive bounds; an extra overflow bucket catches
+    everything beyond the last bound.  Memory is O(buckets) regardless
+    of how many values are observed, so histograms are safe to keep on
+    per-event hot paths (oracle response sizes, per-round wall-clock).
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> None:
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds or DEFAULT_BUCKETS)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name!r} bounds must be sorted")
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate q-quantile from bucket bounds (upper bound of the
+        bucket holding the q-th observation); ``None`` if empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one run.
+
+    Asking twice for the same name returns the same instrument, so
+    emission sites never need to coordinate creation.  Names are
+    dot-namespaced by convention (``events.attach-accept``,
+    ``oracle.response_size``, ``round.wall_clock_s``).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, bounds)
+        return self._histograms[name]
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, Gauge]:
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump of every instrument, sorted by name."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(self._histograms.items())
+            },
+        }

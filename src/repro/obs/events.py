@@ -1,0 +1,209 @@
+"""Typed, structured protocol events.
+
+Every decision the construction protocol takes — each oracle query, each
+referral, each accepted or rejected attach, each maintenance trigger —
+is describable as one small, immutable event stamped with the simulation
+round it happened in.  The emission points live throughout the stack
+(:mod:`repro.core`, :mod:`repro.oracles`, :mod:`repro.sim`,
+:mod:`repro.network`); a :class:`~repro.obs.probe.Probe` decides whether
+anything is recorded at all.
+
+Events are plain data: node *ids* (never node objects), strings and
+ints, so a trace serializes to JSONL losslessly
+(:mod:`repro.obs.export`) and can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar, Dict, Optional, Type
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """Base of all protocol events: the round it was observed in."""
+
+    #: Wire/registry name of the event type (class attribute).
+    kind: ClassVar[str] = "event"
+
+    round: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict, with the event ``kind`` as discriminator."""
+        payload = dataclasses.asdict(self)
+        payload["kind"] = self.kind
+        return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleQuery(Event):
+    """An oracle query that returned a partner.
+
+    ``response_size`` is the number of candidates the oracle's filter
+    admitted (the size of the answer the enquirer's choice was drawn
+    from) — 1 for sample-based realizations such as random walks.
+    """
+
+    kind: ClassVar[str] = "oracle-query"
+
+    node: int
+    oracle: str
+    response_size: int
+    partner: int
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleMiss(Event):
+    """An oracle query for which no suitable partner existed."""
+
+    kind: ClassVar[str] = "oracle-miss"
+
+    node: int
+    oracle: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Referral(Event):
+    """``node`` was referred to ``target`` for its next interaction.
+
+    ``origin`` says which mechanism issued the referral: an
+    ``"interaction"`` ("use k as next reference"), a ``"maintenance"``
+    departure, a ``"displacement"`` that could not re-home the victim,
+    or a ``"churn"`` orphaning (the former grandparent hint).
+    """
+
+    kind: ClassVar[str] = "referral"
+
+    node: int
+    target: int
+    origin: str
+
+
+@dataclasses.dataclass(frozen=True)
+class AttachAccept(Event):
+    """``child <- parent`` was created (one unit of construction work)."""
+
+    kind: ClassVar[str] = "attach-accept"
+
+    child: int
+    parent: int
+
+
+@dataclasses.dataclass(frozen=True)
+class AttachReject(Event):
+    """A ``try child <- parent`` move was checked and refused.
+
+    ``reason`` is the first check that failed: ``"offline"``,
+    ``"not-parentless"``, ``"no-fanout"``, ``"cycle"``,
+    ``"edge-policy"`` or ``"latency"``.
+    """
+
+    kind: ClassVar[str] = "attach-reject"
+
+    child: int
+    parent: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Detach(Event):
+    """``child`` was severed from ``parent``.
+
+    ``reason`` names the mechanism: ``"maintenance"``, ``"displace"``,
+    ``"displace-orphan"``, ``"splice"``, ``"shed"``, ``"churn"`` or the
+    generic ``"detach"``.
+    """
+
+    kind: ClassVar[str] = "detach"
+
+    child: int
+    parent: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class MaintenanceTrigger(Event):
+    """A maintenance rule fired at ``node`` (it discarded its parent).
+
+    ``rule`` is ``"greedy"`` (Algorithm 1), ``"hybrid"`` (the
+    timeout-damped §3.4 rule) or ``"eager"`` (the knee-jerk ablation);
+    ``delay``/``latency`` capture the violation that triggered it.
+    """
+
+    kind: ClassVar[str] = "maintenance-trigger"
+
+    node: int
+    rule: str
+    delay: int
+    latency: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Timeout(Event):
+    """``node`` exhausted its parentless timeout and contacted the source."""
+
+    kind: ClassVar[str] = "timeout"
+
+    node: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnLeave(Event):
+    """``node`` departed; its ``orphans`` children became fragment roots."""
+
+    kind: ClassVar[str] = "churn-leave"
+
+    node: int
+    orphans: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnRejoin(Event):
+    """``node`` came back online with fresh protocol state."""
+
+    kind: ClassVar[str] = "churn-rejoin"
+
+    node: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageSend(Event):
+    """A message entered the simulated network (delivery is scheduled)."""
+
+    kind: ClassVar[str] = "message-send"
+
+    sender: Any
+    recipient: Any
+    message_kind: str
+
+
+#: Registry of all event types by their wire ``kind``.
+EVENT_TYPES: Dict[str, Type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        OracleQuery,
+        OracleMiss,
+        Referral,
+        AttachAccept,
+        AttachReject,
+        Detach,
+        MaintenanceTrigger,
+        Timeout,
+        ChurnLeave,
+        ChurnRejoin,
+        MessageSend,
+    )
+}
+
+
+def event_from_dict(payload: Dict[str, Any]) -> Optional[Event]:
+    """Reconstruct an event from its :meth:`Event.to_dict` form.
+
+    Returns ``None`` for unknown kinds (traces may carry non-event
+    records such as phase timings; readers skip what they don't know).
+    """
+    cls = EVENT_TYPES.get(payload.get("kind", ""))
+    if cls is None:
+        return None
+    fields = {k: v for k, v in payload.items() if k != "kind"}
+    return cls(**fields)

@@ -1,0 +1,201 @@
+"""JSONL trace export, import and summarization.
+
+A trace file is newline-delimited JSON.  The first record is a header;
+every following record carries a ``kind`` discriminator — the protocol
+events of :mod:`repro.obs.events`, plus two aggregate record types the
+summary needs without replaying the run:
+
+* ``phase-timing`` — one per round-loop phase, from
+  :class:`repro.obs.timing.PhaseTimings`;
+* ``metric`` — one per instrument of the run's
+  :class:`~repro.obs.counters.MetricsRegistry` (counters, gauges,
+  histograms).
+
+Readers skip record kinds they don't know, so the format is
+forward-extensible; ``repro obs summarize run.jsonl`` renders any trace
+written by ``repro build --trace-out run.jsonl``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.counters import MetricsRegistry
+from repro.obs.events import Event, event_from_dict
+
+#: Format version written to (and checked loosely by) trace headers.
+TRACE_VERSION = 1
+
+
+@dataclasses.dataclass
+class Trace:
+    """An imported trace: events plus the aggregate records."""
+
+    events: List[Event]
+    phase_timings: Dict[str, Dict[str, float]]
+    metrics: Dict[str, Dict[str, Any]]
+    header: Dict[str, Any]
+
+    def event_counts(self) -> Dict[str, int]:
+        """``{kind: count}`` over the trace's events, sorted by kind."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def rounds(self) -> int:
+        """Highest round stamped on any event (0 for an empty trace)."""
+        return max((e.round for e in self.events), default=0)
+
+
+def write_trace(
+    path: str,
+    events: Iterable[Event],
+    phase_timings: Optional[Dict[str, Dict[str, float]]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    header_extra: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write a JSONL trace; returns the number of event records written.
+
+    ``phase_timings`` takes the :meth:`~repro.obs.timing.PhaseTimings.summary`
+    form; ``registry`` contributes one ``metric`` record per instrument.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {"kind": "trace-header", "version": TRACE_VERSION}
+        if header_extra:
+            header.update(header_extra)
+        handle.write(json.dumps(header) + "\n")
+        for event in events:
+            handle.write(json.dumps(event.to_dict()) + "\n")
+            count += 1
+        for phase, stats in (phase_timings or {}).items():
+            record = {"kind": "phase-timing", "phase": phase}
+            record.update(stats)
+            handle.write(json.dumps(record) + "\n")
+        if registry is not None:
+            snapshot = registry.snapshot()
+            for name, value in snapshot["counters"].items():
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "metric",
+                            "metric": "counter",
+                            "name": name,
+                            "value": value,
+                        }
+                    )
+                    + "\n"
+                )
+            for name, value in snapshot["gauges"].items():
+                handle.write(
+                    json.dumps(
+                        {
+                            "kind": "metric",
+                            "metric": "gauge",
+                            "name": name,
+                            "value": value,
+                        }
+                    )
+                    + "\n"
+                )
+            for name, stats in snapshot["histograms"].items():
+                record = {"kind": "metric", "metric": "histogram", "name": name}
+                record.update(stats)
+                handle.write(json.dumps(record) + "\n")
+    return count
+
+
+def read_trace(path: str) -> Trace:
+    """Read a JSONL trace written by :func:`write_trace`.
+
+    Unknown record kinds are skipped; blank lines are tolerated.
+    """
+    events: List[Event] = []
+    phase_timings: Dict[str, Dict[str, float]] = {}
+    metrics: Dict[str, Dict[str, Any]] = {}
+    header: Dict[str, Any] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("kind")
+            if kind == "trace-header":
+                header = record
+                continue
+            if kind == "phase-timing":
+                phase = record["phase"]
+                phase_timings[phase] = {
+                    k: v for k, v in record.items() if k not in ("kind", "phase")
+                }
+                continue
+            if kind == "metric":
+                name = record["name"]
+                metrics[name] = {
+                    k: v for k, v in record.items() if k not in ("kind", "name")
+                }
+                continue
+            event = event_from_dict(record)
+            if event is not None:
+                events.append(event)
+    return Trace(
+        events=events,
+        phase_timings=phase_timings,
+        metrics=metrics,
+        header=header,
+    )
+
+
+def event_count_rows(trace: Trace) -> List[List[object]]:
+    """Table rows ``[kind, count, per_round]`` sorted by count descending."""
+    rounds = max(trace.rounds(), 1)
+    return [
+        [kind, count, count / rounds]
+        for kind, count in sorted(
+            trace.event_counts().items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ]
+
+
+def phase_timing_rows(trace: Trace) -> List[List[object]]:
+    """Table rows ``[phase, seconds, calls, share]`` from a trace."""
+    from repro.obs.timing import PHASE_ORDER
+
+    total = sum(s.get("seconds", 0.0) for s in trace.phase_timings.values())
+    known = [p for p in PHASE_ORDER if p in trace.phase_timings]
+    extra = sorted(p for p in trace.phase_timings if p not in PHASE_ORDER)
+    rows = []
+    for phase in known + extra:
+        stats = trace.phase_timings[phase]
+        seconds = stats.get("seconds", 0.0)
+        rows.append(
+            [
+                phase,
+                seconds,
+                int(stats.get("calls", 0)),
+                (seconds / total) if total > 0 else 0.0,
+            ]
+        )
+    return rows
+
+
+def histogram_rows(trace: Trace) -> List[List[object]]:
+    """Table rows ``[name, count, mean, min, max]`` for trace histograms."""
+    rows = []
+    for name, stats in sorted(trace.metrics.items()):
+        if stats.get("metric") != "histogram":
+            continue
+        rows.append(
+            [
+                name,
+                int(stats.get("count", 0)),
+                stats.get("mean"),
+                stats.get("min"),
+                stats.get("max"),
+            ]
+        )
+    return rows

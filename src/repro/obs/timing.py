@@ -1,0 +1,88 @@
+"""Per-round and per-phase wall-clock timing.
+
+One simulation round decomposes into phases — ``churn`` (membership
+step), ``oracle`` (directory/gossip upkeep), ``step`` (construction
+steps of parentless nodes), ``maintain`` (maintenance rule at parented
+nodes) and ``measure`` (quality snapshot + trace capture).
+:class:`PhaseTimings` accumulates wall-clock per phase so "where does
+the time go" is answerable per run, which is the precondition for every
+perf PR the ROADMAP asks for.
+
+Timing never feeds back into the simulation: it consumes no RNG and
+influences no decision, and the accumulated seconds are surfaced on
+:class:`repro.sim.runner.SimulationResult` as a comparison-exempt field
+so wall-clock noise can never make two otherwise-identical results
+unequal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+#: Canonical phase order for reports (unknown phases sort after these).
+PHASE_ORDER: Sequence[str] = ("churn", "oracle", "step", "maintain", "measure")
+
+
+class _PhaseSpan:
+    """Context manager timing one span of a phase (reusable pattern:
+    ``with timings.measure("churn"): ...``)."""
+
+    __slots__ = ("_timings", "_phase", "_start")
+
+    def __init__(self, timings: "PhaseTimings", phase: str) -> None:
+        self._timings = timings
+        self._phase = phase
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timings.add(self._phase, time.perf_counter() - self._start)
+
+
+class PhaseTimings:
+    """Accumulated wall-clock seconds and call counts per phase."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Record one span of ``phase`` (explicit form for hot loops)."""
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+
+    def measure(self, phase: str) -> _PhaseSpan:
+        """Context manager recording the wrapped block's duration."""
+        return _PhaseSpan(self, phase)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready ``{phase: {"seconds": s, "calls": n}}``, report order."""
+        return {
+            phase: {"seconds": self.seconds[phase], "calls": self.calls[phase]}
+            for phase in self._ordered_phases()
+        }
+
+    def rows(self) -> List[List[object]]:
+        """Table rows ``[phase, seconds, calls, share]`` for reporting."""
+        total = self.total_seconds
+        return [
+            [
+                phase,
+                self.seconds[phase],
+                self.calls[phase],
+                (self.seconds[phase] / total) if total > 0 else 0.0,
+            ]
+            for phase in self._ordered_phases()
+        ]
+
+    def _ordered_phases(self) -> List[str]:
+        known = [p for p in PHASE_ORDER if p in self.seconds]
+        extra = sorted(p for p in self.seconds if p not in PHASE_ORDER)
+        return known + extra

@@ -52,6 +52,11 @@ class Oracle(abc.ABC):
         #: Number of queries for which no suitable partner existed.
         self.misses = 0
 
+    @property
+    def probe(self):
+        """The run's observability probe (shared through the overlay)."""
+        return self.overlay.probe
+
     def on_round(self, now: int) -> None:
         """Hook called once per simulation round, before node actions.
 
@@ -70,9 +75,14 @@ class Oracle(abc.ABC):
         ]
         if not candidates:
             self.misses += 1
+            self.probe.oracle_miss(enquirer.node_id, self.name)
             return None
         self.hits += 1
-        return self.rng.choice(candidates)
+        partner = self.rng.choice(candidates)
+        self.probe.oracle_query(
+            enquirer.node_id, self.name, len(candidates), partner.node_id
+        )
+        return partner
 
     @abc.abstractmethod
     def _admits(self, enquirer: Node, candidate: Node) -> bool:

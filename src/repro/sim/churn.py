@@ -85,12 +85,15 @@ class ChurnProcess:
         for node in consumers:
             if node.online:
                 if self.rng.random() < self.config.leave_probability:
-                    events.orphaned.extend(self.overlay.go_offline(node))
+                    orphans = self.overlay.go_offline(node)
+                    events.orphaned.extend(orphans)
                     events.left.append(node)
                     self.total_departures += 1
+                    self.overlay.probe.churn_leave(node.node_id, len(orphans))
             else:
                 if self.rng.random() < self.config.rejoin_probability:
                     self.overlay.go_online(node)
                     events.rejoined.append(node)
                     self.total_rejoins += 1
+                    self.overlay.probe.churn_rejoin(node.node_id)
         return events

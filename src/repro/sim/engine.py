@@ -23,17 +23,34 @@ from repro.core.errors import ConfigurationError
 class EventHandle:
     """Returned by :meth:`EventScheduler.schedule`; allows cancellation."""
 
-    __slots__ = ("time", "sequence", "callback", "cancelled")
+    __slots__ = ("time", "sequence", "callback", "cancelled", "fired", "_scheduler")
 
-    def __init__(self, time: float, sequence: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[[], None],
+        scheduler: Optional["EventScheduler"] = None,
+    ):
         self.time = time
         self.sequence = sequence
         self.callback = callback
         self.cancelled = False
+        self.fired = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
-        """Prevent the event from firing (no-op if already fired)."""
+        """Prevent the event from firing (no-op if already fired).
+
+        Keeps the owning scheduler's live pending counter exact:
+        cancelling an already-cancelled or already-fired handle is a
+        no-op, so the counter is decremented at most once per event.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._pending -= 1
 
 
 class EventScheduler:
@@ -44,6 +61,7 @@ class EventScheduler:
         self._queue: List[Tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self._fired = 0
+        self._pending = 0
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -52,8 +70,9 @@ class EventScheduler:
         if delay < 0:
             raise ConfigurationError(f"cannot schedule into the past ({delay})")
         bound = (lambda: callback(*args)) if args else callback
-        handle = EventHandle(self.now + delay, next(self._sequence), bound)
+        handle = EventHandle(self.now + delay, next(self._sequence), bound, self)
         heapq.heappush(self._queue, (handle.time, handle.sequence, handle))
+        self._pending += 1
         return handle
 
     def schedule_at(
@@ -64,8 +83,12 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for _, _, h in self._queue if not h.cancelled)
+        """Number of scheduled, not-yet-fired, not-cancelled events.
+
+        O(1): a live counter maintained on schedule/cancel/fire, not a
+        scan of the heap (cancelled entries linger there until popped).
+        """
+        return self._pending
 
     @property
     def fired(self) -> int:
@@ -85,6 +108,8 @@ class EventScheduler:
             if handle.cancelled:
                 continue
             self.now = handle.time
+            handle.fired = True
+            self._pending -= 1
             self._fired += 1
             handle.callback()
             return True

@@ -16,7 +16,8 @@ pull periods, not rounds.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
 from repro.core.convergence import OverlayQuality, measure
 from repro.core.errors import ConfigurationError
@@ -24,6 +25,8 @@ from repro.core.greedy import GreedyConstruction
 from repro.core.hybrid import HybridConstruction
 from repro.core.protocol import ConstructionAlgorithm, ProtocolConfig
 from repro.core.tree import Overlay
+from repro.obs.probe import NULL_PROBE, Probe
+from repro.obs.timing import PhaseTimings
 from repro.oracles.base import ORACLES, Oracle
 from repro.oracles.distributed import realize_oracle
 from repro.sim.asynchrony import AsynchronyConfig, AsynchronyModel
@@ -89,6 +92,12 @@ class SimulationConfig:
     record_trace:
         Capture a parent-map snapshot every round (memory-heavier; used
         by the walkthrough example and structural tests).
+    probe:
+        Observability tap (:mod:`repro.obs`) receiving every protocol
+        event of the run, or ``None`` for the zero-cost
+        :class:`~repro.obs.probe.NullProbe`.  Probes never consume RNG
+        and never change outcomes; they compare by identity, so two
+        otherwise-equal configs with distinct probes are unequal.
     """
 
     algorithm: str = "greedy"
@@ -101,6 +110,7 @@ class SimulationConfig:
     seed: int = 0
     stop_at_convergence: bool = True
     record_trace: bool = False
+    probe: Optional[Probe] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -131,6 +141,12 @@ class SimulationResult:
     ``construction_rounds`` is the paper's *construction latency*: the
     first round at which every online consumer met its constraint
     (``None`` if that never happened within the budget).
+
+    ``phase_timings`` is the per-phase wall-clock breakdown of the run
+    (:meth:`repro.obs.timing.PhaseTimings.summary` form).  It is
+    excluded from equality so wall-clock noise can never make two
+    otherwise-identical seeded runs compare unequal — the determinism
+    guards rely on that.
     """
 
     workload_name: str
@@ -147,6 +163,9 @@ class SimulationResult:
     oracle_misses: int
     departures: int
     rejoins: int
+    phase_timings: Dict[str, Dict[str, float]] = dataclasses.field(
+        default_factory=dict, compare=False, repr=False
+    )
 
 
 class Simulation:
@@ -162,11 +181,20 @@ class Simulation:
         workload: Workload,
         config: SimulationConfig,
         oracle_factory=None,
+        probe: Optional[Probe] = None,
     ) -> None:
         self.workload = workload
         self.config = config
         self.streams = StreamFactory(config.seed)
         self.overlay: Overlay = workload.build_overlay()
+        # Explicit argument beats the config slot beats the null default.
+        self.probe: Probe = (
+            probe if probe is not None
+            else config.probe if config.probe is not None
+            else NULL_PROBE
+        )
+        self.overlay.probe = self.probe
+        self.timings = PhaseTimings()
         if oracle_factory is not None:
             # Escape hatch for custom oracles (locality bias, multi-feed
             # reuse, ...): a callable (overlay, rng) -> Oracle.
@@ -202,31 +230,49 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def run_round(self) -> None:
-        """Advance the simulation by one round."""
+        """Advance the simulation by one round.
+
+        Each round decomposes into the phases ``churn`` / ``oracle`` /
+        ``step`` / ``maintain`` / ``measure``, wall-clock-timed into
+        :attr:`timings`; the installed probe sees every protocol event
+        in between.  Neither timing nor probing consumes RNG.
+        """
         self.now += 1
+        round_start = time.perf_counter()
+        self.probe.begin_round(self.now)
         departures = rejoins = 0
         if self.churn is not None:
-            events = self.churn.step(self.now)
-            departures, rejoins = len(events.left), len(events.rejoined)
-        self.oracle.on_round(self.now)
+            with self.timings.measure("churn"):
+                events = self.churn.step(self.now)
+                departures, rejoins = len(events.left), len(events.rejoined)
+        with self.timings.measure("oracle"):
+            self.oracle.on_round(self.now)
         nodes = self.overlay.online_consumers
         self._order_rng.shuffle(nodes)
+        timings_add = self.timings.add
+        perf_counter = time.perf_counter
         for node in nodes:
             if not node.online:
                 continue  # went offline mid-round? (defensive; churn is pre-round)
             if node.parent is not None:
+                t0 = perf_counter()
                 self.algorithm.maintain(node)
+                timings_add("maintain", perf_counter() - t0)
                 continue
             if self.asynchrony is not None and not self.asynchrony.is_free(
                 node, self.now
             ):
                 continue
+            t0 = perf_counter()
             self.algorithm.step(node)
+            timings_add("step", perf_counter() - t0)
             if self.asynchrony is not None:
                 self.asynchrony.occupy(node, self.now)
-        self.metrics.record(self.now, departures=departures, rejoins=rejoins)
-        if self.trace is not None:
-            self.trace.capture(self.now)
+        with self.timings.measure("measure"):
+            self.metrics.record(self.now, departures=departures, rejoins=rejoins)
+            if self.trace is not None:
+                self.trace.capture(self.now)
+        self.probe.end_round(self.now, time.perf_counter() - round_start)
 
     def run(self) -> SimulationResult:
         """Run to convergence or to the round budget; return the result."""
@@ -254,6 +300,7 @@ class Simulation:
             oracle_misses=self.oracle.misses,
             departures=self.churn.total_departures if self.churn else 0,
             rejoins=self.churn.total_rejoins if self.churn else 0,
+            phase_timings=self.timings.summary(),
         )
 
 

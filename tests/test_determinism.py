@@ -9,8 +9,16 @@ runs the same simulations in subprocesses with adversarially different
 hash seeds and compares exact outcomes.
 """
 
+import os
+import pathlib
 import subprocess
 import sys
+
+import repro
+
+#: The directory that makes ``import repro`` work in a child process,
+#: whether the package was installed or is imported straight from src/.
+SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parents[1])
 
 SCRIPT = r"""
 import json
@@ -52,12 +60,23 @@ print(json.dumps(out))
 
 
 def run_with_hashseed(seed: str) -> str:
+    # The env is scrubbed so only PYTHONHASHSEED varies adversarially —
+    # but the subprocess still needs to find the package, so propagate
+    # the parent's import path (src/ plus any inherited PYTHONPATH).
+    pythonpath = os.pathsep.join(
+        [SRC_DIR]
+        + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+    )
     completed = subprocess.run(
         [sys.executable, "-c", SCRIPT],
         capture_output=True,
         text=True,
         timeout=600,
-        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        env={
+            "PYTHONHASHSEED": seed,
+            "PATH": "/usr/bin:/bin",
+            "PYTHONPATH": pythonpath,
+        },
     )
     assert completed.returncode == 0, completed.stderr
     return completed.stdout.strip()

@@ -1,0 +1,370 @@
+"""Tests for the run-observability layer (:mod:`repro.obs`).
+
+Covers the counter/gauge/histogram registry, event JSONL round-trips,
+probe emission from real runs, the O(1) scheduler pending counter, the
+CLI trace/summarize flow — and the layer's central invariant: recording
+a run must not change it.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import ConfigurationError
+from repro.obs import (
+    AttachAccept,
+    AttachReject,
+    ChurnLeave,
+    ChurnRejoin,
+    Detach,
+    EVENT_TYPES,
+    MaintenanceTrigger,
+    MessageSend,
+    MetricsRegistry,
+    NULL_PROBE,
+    NullProbe,
+    OracleMiss,
+    OracleQuery,
+    RecordingProbe,
+    Referral,
+    Timeout,
+    event_from_dict,
+    read_trace,
+    write_trace,
+)
+from repro.obs.counters import Histogram
+from repro.obs.export import event_count_rows, phase_timing_rows
+from repro.obs.timing import PhaseTimings
+from repro.sim.churn import ChurnConfig
+from repro.sim.engine import EventScheduler
+from repro.sim.runner import Simulation, SimulationConfig, run_simulation
+from repro.workloads import make
+
+SAMPLE_EVENTS = [
+    OracleQuery(round=1, node=3, oracle="random-delay", response_size=7, partner=5),
+    OracleMiss(round=1, node=4, oracle="random-delay"),
+    Referral(round=2, node=3, target=2, origin="interaction"),
+    AttachAccept(round=2, child=3, parent=2),
+    AttachReject(round=2, child=4, parent=2, reason="no-fanout"),
+    Detach(round=3, child=3, parent=2, reason="maintenance"),
+    MaintenanceTrigger(round=3, node=3, rule="greedy", delay=3, latency=2),
+    Timeout(round=4, node=4),
+    ChurnLeave(round=5, node=2, orphans=1),
+    ChurnRejoin(round=6, node=2),
+    MessageSend(round=6, sender=1, recipient=2, message_kind="pull"),
+]
+
+
+class TestCounters:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events.attach-accept")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("round.current")
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7
+
+    def test_registry_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_histogram_stats(self):
+        histogram = Histogram("test")
+        for value in (1, 2, 3, 100):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 106
+        assert histogram.min == 1
+        assert histogram.max == 100
+        assert histogram.mean == pytest.approx(26.5)
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("test", bounds=(1, 10, 100))
+        for value in (0.5, 1, 5, 50, 500):
+            histogram.observe(value)
+        # (<=1): 0.5, 1; (<=10): 5; (<=100): 50; overflow: 500
+        assert histogram.bucket_counts == [2, 1, 1, 1]
+
+    def test_histogram_quantile(self):
+        histogram = Histogram("test", bounds=(1, 10, 100))
+        for value in (1, 1, 1, 50):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1
+        assert histogram.quantile(1.0) == 100  # upper bound of 50's bucket
+        assert Histogram("empty").quantile(0.5) is None
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(10, 1))
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(3)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+
+class TestEvents:
+    def test_every_event_type_round_trips(self):
+        assert {e.kind for e in SAMPLE_EVENTS} == set(EVENT_TYPES)
+        for event in SAMPLE_EVENTS:
+            payload = json.loads(json.dumps(event.to_dict()))
+            assert event_from_dict(payload) == event
+
+    def test_unknown_kind_is_skipped(self):
+        assert event_from_dict({"kind": "warp-drive", "round": 1}) is None
+
+    def test_events_are_immutable(self):
+        with pytest.raises(Exception):
+            SAMPLE_EVENTS[0].round = 99
+
+
+class TestTraceExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        timings = PhaseTimings()
+        timings.add("step", 0.25)
+        timings.add("step", 0.25)
+        timings.add("churn", 0.5)
+        registry = MetricsRegistry()
+        registry.counter("events.timeout").inc(3)
+        registry.histogram("oracle.response_size").observe(4)
+        count = write_trace(
+            path,
+            SAMPLE_EVENTS,
+            phase_timings=timings.summary(),
+            registry=registry,
+            header_extra={"seed": 7},
+        )
+        assert count == len(SAMPLE_EVENTS)
+        trace = read_trace(path)
+        assert trace.events == SAMPLE_EVENTS
+        assert trace.header["seed"] == 7
+        assert trace.phase_timings["step"] == {"seconds": 0.5, "calls": 2}
+        assert trace.metrics["events.timeout"]["value"] == 3
+        assert trace.metrics["oracle.response_size"]["count"] == 1
+
+    def test_summary_rows(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        timings = PhaseTimings()
+        timings.add("step", 0.75)
+        timings.add("churn", 0.25)
+        write_trace(path, SAMPLE_EVENTS, phase_timings=timings.summary())
+        trace = read_trace(path)
+        counts = dict((row[0], row[1]) for row in event_count_rows(trace))
+        assert counts["oracle-query"] == 1
+        rows = {row[0]: row for row in phase_timing_rows(trace)}
+        assert rows["step"][3] == pytest.approx(0.75)
+        assert rows["churn"][3] == pytest.approx(0.25)
+
+
+class TestRecordingProbe:
+    def run_probed(self, **config_kwargs):
+        probe = RecordingProbe()
+        config = SimulationConfig(
+            algorithm="hybrid",
+            seed=3,
+            max_rounds=300,
+            churn=ChurnConfig(),
+            **config_kwargs,
+        )
+        simulation = Simulation(make("Rand", size=30, seed=3), config, probe=probe)
+        result = simulation.run()
+        return probe, simulation, result
+
+    def test_probe_sees_every_structural_mutation(self):
+        probe, simulation, result = self.run_probed()
+        attaches = probe.events_of("attach-accept")
+        assert len(attaches) == simulation.overlay.attach_count == result.attaches
+        assert len(probe.events_of("oracle-miss")) == result.oracle_misses
+        assert len(probe.events_of("churn-leave")) == result.departures
+        assert len(probe.events_of("churn-rejoin")) == result.rejoins
+
+    def test_registry_counters_match_event_list(self):
+        probe, _, _ = self.run_probed()
+        assert probe.events, "instrumented run recorded nothing"
+        for kind, count in probe.event_counts().items():
+            assert probe.registry.counter(f"events.{kind}").value == count
+
+    def test_rounds_are_stamped_monotonically(self):
+        probe, _, result = self.run_probed()
+        rounds = [event.round for event in probe.events]
+        assert rounds == sorted(rounds)
+        assert 1 <= rounds[0] and rounds[-1] <= result.rounds_run
+
+    def test_response_size_histogram_filled(self):
+        probe, _, _ = self.run_probed()
+        histogram = probe.registry.histogram("oracle.response_size")
+        assert histogram.count == len(probe.events_of("oracle-query"))
+        assert histogram.count > 0
+
+
+class TestProbeDoesNotPerturb:
+    """The layer's central invariant: observation must never change the run."""
+
+    CONFIGS = [
+        dict(algorithm="greedy", oracle="random-delay"),
+        dict(algorithm="hybrid", oracle="random-delay"),
+        dict(algorithm="hybrid", oracle="random", oracle_realization="random-walk"),
+    ]
+
+    @pytest.mark.parametrize("overrides", CONFIGS)
+    def test_recording_probe_result_identical_to_null_probe(self, overrides):
+        results = []
+        for probe in (NullProbe(), RecordingProbe()):
+            config = SimulationConfig(
+                seed=11,
+                max_rounds=400,
+                churn=ChurnConfig(0.02, 0.3),
+                stop_at_convergence=False,
+                probe=probe,
+                **overrides,
+            )
+            results.append(
+                run_simulation(make("BiCorr", size=25, seed=11), config)
+            )
+        null_result, recorded_result = results
+        assert null_result == recorded_result
+
+    def test_probe_config_slot_and_argument_agree(self):
+        via_config = run_simulation(
+            make("Rand", size=20, seed=5),
+            SimulationConfig(seed=5, probe=RecordingProbe()),
+        )
+        probe = RecordingProbe()
+        simulation = Simulation(
+            make("Rand", size=20, seed=5), SimulationConfig(seed=5), probe=probe
+        )
+        via_argument = simulation.run()
+        assert via_config == via_argument
+        assert simulation.probe is probe
+        assert simulation.overlay.probe is probe
+
+    def test_default_probe_is_the_null_singleton(self):
+        simulation = Simulation(
+            make("Rand", size=10, seed=1), SimulationConfig(seed=1)
+        )
+        assert simulation.probe is NULL_PROBE
+        assert not simulation.probe.enabled
+
+
+class TestPhaseTimings:
+    def test_phases_accumulate(self):
+        timings = PhaseTimings()
+        timings.add("step", 0.5)
+        timings.add("step", 0.25)
+        with timings.measure("churn"):
+            pass
+        assert timings.calls == {"step": 2, "churn": 1}
+        assert timings.seconds["step"] == pytest.approx(0.75)
+        assert timings.total_seconds >= 0.75
+
+    def test_simulation_surfaces_phase_timings(self):
+        result = run_simulation(
+            make("Rand", size=15, seed=2),
+            SimulationConfig(seed=2, churn=ChurnConfig()),
+        )
+        assert {"churn", "oracle", "measure"} <= set(result.phase_timings)
+        for stats in result.phase_timings.values():
+            assert stats["seconds"] >= 0.0
+            assert stats["calls"] >= 1
+
+    def test_phase_timings_exempt_from_equality(self):
+        a = run_simulation(make("Rand", size=15, seed=2), SimulationConfig(seed=2))
+        b = run_simulation(make("Rand", size=15, seed=2), SimulationConfig(seed=2))
+        assert a.phase_timings != {} and b.phase_timings != {}
+        assert a == b  # wall-clock noise must never break result equality
+
+
+class TestSchedulerPending:
+    """The O(1) live pending counter on the event scheduler."""
+
+    def test_pending_tracks_schedule_cancel_fire(self):
+        scheduler = EventScheduler()
+        handles = [scheduler.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert scheduler.pending == 5
+        handles[0].cancel()
+        assert scheduler.pending == 4
+        handles[0].cancel()  # double-cancel must not double-decrement
+        assert scheduler.pending == 4
+        scheduler.step()  # fires the first live event
+        assert scheduler.pending == 3
+        scheduler.run()
+        assert scheduler.pending == 0
+
+    def test_cancel_after_fire_is_a_noop(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(1.0, lambda: None)
+        scheduler.run()
+        assert scheduler.pending == 0
+        handle.cancel()
+        assert scheduler.pending == 0
+        assert not handle.cancelled  # it fired; cancellation never applied
+
+    def test_pending_consistent_under_interleaving(self):
+        scheduler = EventScheduler()
+        handles = []
+
+        def spawn():
+            handles.append(scheduler.schedule(1.0, lambda: None))
+
+        scheduler.schedule(1.0, spawn)
+        scheduler.schedule(2.0, spawn)
+        scheduler.run_until(2.5)
+        # Both spawned events (at 2.0 and 3.0): one fired, one pending.
+        assert scheduler.pending == 1
+        assert scheduler.fired == 3
+        handles[-1].cancel()
+        assert scheduler.pending == 0
+
+    def test_negative_delay_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventScheduler().schedule(-0.1, lambda: None)
+
+
+class TestCliObservability:
+    def test_build_trace_out_then_summarize(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        code = main(
+            [
+                "build",
+                "--workload",
+                "Rand",
+                "--size",
+                "25",
+                "--seed",
+                "3",
+                "--churn",
+                "--trace-out",
+                path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "events to" in out
+        code = main(["obs", "summarize", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "attach-accept" in out
+        assert "phase" in out and "seconds" in out
+        assert "oracle.response_size" in out
+
+    def test_summarize_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["obs"])
