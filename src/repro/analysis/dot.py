@@ -18,12 +18,12 @@ _UNROOTED = "#bfbfbf"
 _OFFLINE = "#efefef"
 
 
-def _colour(overlay: Overlay, node) -> str:
+def _colour(overlay: Overlay, node, delay) -> str:
     if not node.online:
         return _OFFLINE
     if not overlay.is_rooted(node):
         return _UNROOTED
-    if overlay.delay_at(node) <= node.latency:
+    if delay <= node.latency:
         return _SATISFIED
     return _VIOLATED
 
@@ -41,7 +41,7 @@ def overlay_to_dot(overlay: Overlay, title: str = "LagOver") -> str:
         delay = overlay.delay_at(node) if node.online else "-"
         lines.append(
             f'  n{node.node_id} [label="{node.label()}\\nd={delay}", '
-            f'fillcolor="{_colour(overlay, node)}"];'
+            f'fillcolor="{_colour(overlay, node, delay)}"];'
         )
     for node in overlay.consumers:
         if node.parent is not None:

@@ -5,12 +5,20 @@ rounds until the overlay first satisfies every online consumer (§5).  The
 round loop itself lives in :mod:`repro.sim.runner`; this module provides
 the predicates and the per-snapshot quality measures used by the
 evaluation and the analysis package.
+
+:func:`measure` and :func:`depth_histogram` used to each re-derive every
+node's delay (three walks per node inside ``measure`` alone); both are
+now served from one shared forest scan — a single pass over the online
+consumers using the O(1) chain-index reads — cached against
+:attr:`~repro.core.index.ChainIndex.version` so the several readers of a
+simulation round (metrics record, convergence check, analysis) pay for
+exactly one traversal per overlay state.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.core.node import Node
 from repro.core.tree import Overlay
@@ -58,31 +66,58 @@ class OverlayQuality:
         return self.satisfied == self.online
 
 
-def measure(overlay: Overlay) -> OverlayQuality:
-    """Compute :class:`OverlayQuality` for the current overlay state."""
-    online = overlay.online_consumers
-    rooted = [n for n in online if overlay.is_rooted(n)]
-    satisfied = [n for n in rooted if overlay.delay_at(n) <= n.latency]
-    slacks = [n.latency - overlay.delay_at(n) for n in satisfied]
-    return OverlayQuality(
-        online=len(online),
-        rooted=len(rooted),
-        satisfied=len(satisfied),
-        fragments=len(overlay.fragments()),
-        max_depth=max((overlay.delay_at(n) for n in rooted), default=0),
-        mean_slack=(sum(slacks) / len(slacks)) if slacks else 0.0,
+def _forest_scan(overlay: Overlay) -> Tuple[OverlayQuality, Dict[int, int]]:
+    """One pass over the online consumers: quality and depth histogram.
+
+    The result is cached on the overlay keyed by the chain index's
+    mutation version, so within one overlay state (e.g. the tail of a
+    simulation round: metrics record, then the runner's convergence
+    check, then any analysis) the forest is traversed exactly once.
+    """
+    cache = overlay._quality_cache
+    version = overlay.chain_index.version
+    if cache is not None and cache[0] == version:
+        return cache[1], cache[2]
+    online = rooted = satisfied = 0
+    slack_sum = 0
+    max_depth = 0
+    fragments = 1  # the source's own tree
+    histogram: Dict[int, int] = {}
+    for node in overlay.online_consumers:
+        online += 1
+        if node.parent is None:
+            fragments += 1
+        if overlay.is_rooted(node):
+            rooted += 1
+            delay = overlay.delay_at(node)
+            if delay > max_depth:
+                max_depth = delay
+            histogram[delay] = histogram.get(delay, 0) + 1
+            if delay <= node.latency:
+                satisfied += 1
+                slack_sum += node.latency - delay
+    quality = OverlayQuality(
+        online=online,
+        rooted=rooted,
+        satisfied=satisfied,
+        fragments=fragments,
+        max_depth=max_depth,
+        mean_slack=(slack_sum / satisfied) if satisfied else 0.0,
         used_source_fanout=len(overlay.source.children),
     )
+    histogram = dict(sorted(histogram.items()))
+    overlay._quality_cache = (version, quality, histogram)
+    return quality, histogram
+
+
+def measure(overlay: Overlay) -> OverlayQuality:
+    """Compute :class:`OverlayQuality` for the current overlay state."""
+    return _forest_scan(overlay)[0]
 
 
 def depth_histogram(overlay: Overlay) -> Dict[int, int]:
     """Histogram ``{depth: count}`` of rooted online consumers."""
-    histogram: Dict[int, int] = {}
-    for node in overlay.online_consumers:
-        if overlay.is_rooted(node):
-            depth = overlay.delay_at(node)
-            histogram[depth] = histogram.get(depth, 0) + 1
-    return dict(sorted(histogram.items()))
+    return dict(_forest_scan(overlay)[1])
 
 
 def violated_nodes(overlay: Overlay) -> List[Node]:

@@ -1,0 +1,232 @@
+"""Incrementally maintained chain-metadata index.
+
+The chain metadata of §2.1.3 — ``Root(i)``, the depth below that root and
+hence ``DelayAt(i)`` — is a pure function of the parent links, and every
+layer of this reproduction reads it constantly: the oracles filter each
+sampled candidate by delay, :func:`repro.core.convergence.measure` scores
+every node every round, and the maintenance rules consult it on every
+parented node.  Re-walking the parent chain on every read makes a round
+O(N·D); this module replaces walk-on-read with an **index** that is kept
+exact *incrementally* at the only four structural mutation points of
+:class:`~repro.core.tree.Overlay`:
+
+``attach(child, parent)``
+    ``child`` was a fragment root, so its subtree's cached depths are
+    relative to ``child``; re-root the subtree under ``parent``'s root and
+    shift every depth by ``depth(parent) + 1``.
+``detach(child)``
+    ``child`` becomes a fragment root; subtract its old depth across its
+    subtree and re-root the subtree at ``child``.
+``go_offline(node)``
+    A departure is one detach of ``node`` plus one detach per orphaned
+    child (each keeps its subtree and becomes its own root).
+``go_online(node)``
+    A rejoining node is fully disconnected, so its entry is already the
+    fragment-root identity ``(itself, 0)``; only the version advances.
+
+Reads are amortized O(1); a mutation pays at most the size of the moved
+subtree — the same asymptotic cost the mutation itself already pays for
+re-linking and event emission.
+
+Invariants (cross-checked by :meth:`ChainIndex.verify`, which
+:meth:`Overlay.check_integrity` runs against the reference walk kept
+in-tree as ``Overlay.walk_*``):
+
+* for every node, ``entry.root`` is the parentless top of its chain and
+  ``entry.depth`` its hop count to that root;
+* a parentless node (including every offline node and the source) is its
+  own root at depth 0;
+* :attr:`ChainIndex.version` strictly increases on every structural or
+  liveness mutation, so any value derived from chain metadata can be
+  cached per version (see ``repro.core.convergence``'s shared forest
+  scan).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.core.errors import TopologyError
+from repro.core.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tree import Overlay
+
+
+class _Entry:
+    """Cached chain metadata of one node.
+
+    ``root`` and ``depth`` are the primary facts; ``rooted`` and ``delay``
+    are derived but stored too, because the oracle filters read them
+    millions of times per run — one dict lookup plus one slot load beats
+    re-deriving ``root.is_source`` per read.  All four are maintained in
+    the same subtree shift, so they can never disagree (and
+    :meth:`ChainIndex.verify` checks they do not).
+    """
+
+    __slots__ = ("root", "depth", "rooted", "delay")
+
+    def __init__(self, root: Node, depth: int) -> None:
+        self.root = root
+        self.depth = depth
+        self.rooted = root.is_source
+        self.delay = depth if self.rooted else depth + 1
+
+
+class ChainIndex:
+    """Per-node ``(fragment_root, depth)`` cache with subtree invalidation.
+
+    Owned by one :class:`~repro.core.tree.Overlay`; the overlay calls the
+    ``on_*`` hooks from its checked mutators *after* the parent/child
+    links are updated.  ``DelayAt`` is derived on read: ``depth`` for
+    nodes whose root is the source, ``depth + 1`` (the potential delay of
+    §2.1.3) otherwise — the source itself is its own root at depth 0.
+    """
+
+    def __init__(self, overlay: "Overlay") -> None:
+        self._overlay = overlay
+        #: node_id -> entry.  Public for the overlay's inlined hot-path
+        #: reads; treat as read-only outside this class.
+        self.entries: Dict[int, _Entry] = {}
+        #: Monotonic mutation counter; bumped by every hook.  Derived
+        #: per-round quantities are cached against it.
+        self.version = 0
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # construction / registration
+    # ------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Recompute every entry from the reference walk (O(N·D)).
+
+        Used at construction time and available as a recovery hatch; in
+        normal operation the incremental hooks keep the index exact.
+        """
+        self.entries = {}
+        for node in self._overlay:
+            self.entries[node.node_id] = _Entry(
+                self._overlay.walk_fragment_root(node),
+                self._overlay.walk_depth(node),
+            )
+        self.version += 1
+
+    def register(self, node: Node) -> None:
+        """Index a newly added node (always parentless: its own root)."""
+        self.entries[node.node_id] = _Entry(node, 0)
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # mutation hooks (links already updated when these run)
+    # ------------------------------------------------------------------
+
+    def on_attach(self, child: Node, parent: Node) -> None:
+        """``child`` (a fragment root) was attached under ``parent``."""
+        anchor = self.entries[parent.node_id]
+        self._shift_subtree(child, anchor.root, anchor.depth + 1)
+        self.version += 1
+
+    def on_detach(self, child: Node) -> None:
+        """``child`` was severed from its parent and heads its own fragment."""
+        entry = self.entries[child.node_id]
+        self._shift_subtree(child, child, -entry.depth)
+        self.version += 1
+
+    def touch(self) -> None:
+        """Record a liveness-only mutation (``go_offline``/``go_online``).
+
+        The departing/rejoining node's own entry is already the
+        fragment-root identity — every structural consequence went
+        through :meth:`on_detach` — but liveness changes what the
+        per-round quality scan sees, so the version must advance.
+        """
+        self.version += 1
+
+    def _shift_subtree(self, top: Node, root: Node, delta: int) -> None:
+        """Re-root ``top``'s subtree at ``root``, shifting depths by ``delta``.
+
+        ``top``'s cached depths are relative to its previous root, so one
+        uniform shift re-anchors the whole subtree — this is the
+        "mutations pay at most the size of the moved subtree" cost.
+        """
+        entries = self.entries
+        limit = len(entries)
+        seen = 0
+        rooted = root.is_source
+        bias = 0 if rooted else 1
+        stack = [top]
+        while stack:
+            node = stack.pop()
+            seen += 1
+            if seen > limit:
+                raise TopologyError(f"cycle detected under {top!r}")
+            entry = entries[node.node_id]
+            entry.root = root
+            entry.rooted = rooted
+            entry.depth += delta
+            entry.delay = entry.depth + bias
+            stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # O(1) reads
+    # ------------------------------------------------------------------
+
+    def root_of(self, node: Node) -> Node:
+        """``Root(i)`` — raises ``KeyError`` for nodes foreign to the overlay."""
+        return self.entries[node.node_id].root
+
+    def depth_of(self, node: Node) -> int:
+        """Hops from the node to its fragment root."""
+        return self.entries[node.node_id].depth
+
+    def is_rooted(self, node: Node) -> bool:
+        """Whether the node's chain tops out at the source."""
+        return self.entries[node.node_id].rooted
+
+    def delay_of(self, node: Node) -> int:
+        """``DelayAt(i)``: actual delay if rooted, potential otherwise."""
+        return self.entries[node.node_id].delay
+
+    def meets_latency(self, node: Node) -> bool:
+        """Rooted at the source within the node's latency constraint."""
+        if node.is_source:
+            return True
+        entry = self.entries[node.node_id]
+        return entry.rooted and entry.depth <= node.latency
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+
+    def verify(self) -> None:
+        """Cross-check every entry against the reference walk; raises
+        :class:`TopologyError` on the first divergence.
+
+        This is the index's safety net: the naive walking implementation
+        survives in-tree (``Overlay.walk_fragment_root`` /
+        ``Overlay.walk_depth``) precisely so the incremental bookkeeping
+        can be audited against ground truth at any time.
+        """
+        overlay = self._overlay
+        for node in overlay:
+            entry = self.entries.get(node.node_id)
+            if entry is None:
+                raise TopologyError(f"{node!r} missing from the chain index")
+            walk_root = overlay.walk_fragment_root(node)
+            walk_depth = overlay.walk_depth(node)
+            if entry.root is not walk_root or entry.depth != walk_depth:
+                raise TopologyError(
+                    f"chain index diverged at {node!r}: cached "
+                    f"(root={entry.root!r}, depth={entry.depth}) vs walked "
+                    f"(root={walk_root!r}, depth={walk_depth})"
+                )
+            if entry.rooted != walk_root.is_source or entry.delay != (
+                entry.depth if entry.rooted else entry.depth + 1
+            ):
+                raise TopologyError(
+                    f"chain index diverged at {node!r}: stored derived "
+                    f"fields (rooted={entry.rooted}, delay={entry.delay}) "
+                    f"disagree with (root={walk_root!r}, depth={walk_depth})"
+                )
+        if len(self.entries) != len(overlay):
+            raise TopologyError("chain index tracks nodes not in the overlay")

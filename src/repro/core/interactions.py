@@ -55,7 +55,11 @@ def greedy_edge(parent: Node, child: Node) -> bool:
 
 
 def _fits_latency(overlay: Overlay, parent: Node, child: Node) -> bool:
-    """Whether ``child``'s potential delay under ``parent`` is within ``l_child``."""
+    """Whether ``child``'s potential delay under ``parent`` is within ``l_child``.
+
+    ``delay_at`` is an amortized O(1) chain-index read, so the legality
+    checks below add constant overhead per attempted move.
+    """
     return overlay.delay_at(parent) + 1 <= child.latency
 
 

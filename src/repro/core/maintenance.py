@@ -83,14 +83,19 @@ def hybrid_maintenance(
     # Walk the (locally known, §2.1.3) upstream chain to the deepest
     # ancestor shallow enough to satisfy this node, and start the search
     # there — the iterative "use k as next reference" of Alg. 2, jumped in
-    # one go because the chain is piggy-backed anyway.
+    # one go because the chain is piggy-backed anyway.  The node is rooted
+    # here, so every ancestor's delay is exactly one less per hop up:
+    # derive them by decrementing instead of re-querying per step (the
+    # former per-ancestor ``delay_at`` walk made this scan O(depth²)).
     ancestor = node.parent
+    ancestor_delay = delay - 1
     while (
         ancestor is not None
         and not ancestor.is_source
-        and overlay.delay_at(ancestor) >= node.latency
+        and ancestor_delay >= node.latency
     ):
         ancestor = ancestor.parent
+        ancestor_delay -= 1
     overlay.probe.maintenance_trigger(node.node_id, "hybrid", delay, node.latency)
     overlay.detach(node, reason="maintenance")
     node.violation_rounds = 0

@@ -21,10 +21,13 @@ A :class:`Node` stores only *local* state: its constraints, its parent and
 children links, whether it is online, and the per-node timers the
 construction and maintenance protocols use (timeout counter, maintenance
 violation timer, the referral received during the last interaction).  All
-chain-level quantities (``Root``, ``DelayAt``) are derived by
-:class:`repro.core.tree.Overlay` by walking the parent links — this mirrors
-the paper's assumption (§2.1.3) that chain metadata is piggy-backed along
-the chain rather than globally maintained.
+chain-level quantities (``Root``, ``DelayAt``) belong to
+:class:`repro.core.tree.Overlay` — this mirrors the paper's assumption
+(§2.1.3) that chain metadata is piggy-backed along the chain rather than
+owned by the node.  The overlay serves those reads from an incrementally
+maintained :class:`~repro.core.index.ChainIndex` (the piggy-backing made
+fast); the defining parent-chain walk survives as the ``Overlay.walk_*``
+reference implementations.
 """
 
 from __future__ import annotations

@@ -125,7 +125,7 @@ class ConstructionAlgorithm(abc.ABC):
             self.contact_source(node)
             return
         if self.overlay.fragment_root(partner) is node:
-            return  # partner is in the node's own fragment; nothing to do
+            return  # partner is in the node's own fragment (O(1) index read)
         self._interact(node, partner)
 
     def _next_partner(self, node: Node) -> Optional[Node]:

@@ -24,10 +24,19 @@ returns the actual delay for rooted nodes and this potential delay for
 unrooted ones; use :meth:`Overlay.is_rooted` to distinguish (the
 maintenance rules additionally require ``Root(i) == 0``, exactly as in the
 paper).
+
+Chain metadata used to be re-derived by walking the parent chain on every
+read (O(depth) per read, O(N·D) per simulation round).  Reads now go
+through an incrementally maintained :class:`~repro.core.index.ChainIndex`
+(amortized O(1)); the original walking code survives as the
+``walk_*`` reference implementations, and :meth:`Overlay.check_integrity`
+cross-checks the index against them.  See ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
 
+from bisect import insort
+from operator import attrgetter
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.constraints import NodeSpec
@@ -37,8 +46,11 @@ from repro.core.errors import (
     TopologyError,
     UnknownNodeError,
 )
+from repro.core.index import ChainIndex
 from repro.core.node import SOURCE_ID, Node, NodeId
 from repro.obs.probe import NULL_PROBE, Probe
+
+_BY_NODE_ID = attrgetter("node_id")
 
 
 class Overlay:
@@ -59,6 +71,18 @@ class Overlay:
             name=source_name,
         )
         self._nodes[SOURCE_ID] = self.source
+        # Incrementally maintained rosters (id order): appending on
+        # add_consumer keeps `_consumers` sorted because ids only grow;
+        # `_online` is updated on churn transitions instead of being
+        # refiltered O(N) on every access.
+        self._consumers: List[Node] = []
+        self._online: List[Node] = []
+        #: Chain-metadata index: amortized O(1) ``Root``/``DelayAt`` reads,
+        #: kept exact by the four checked mutators below.
+        self.chain_index = ChainIndex(self)
+        # Per-version cache slot for the shared forest scan of
+        # :mod:`repro.core.convergence` (owned by that module).
+        self._quality_cache = None
         #: Lifetime counts of structural mutations, for the
         #: reconfiguration-cost metrics: ``attaches`` and ``detaches``.
         self.attach_count = 0
@@ -78,6 +102,9 @@ class Overlay:
         node = Node(node_id=self._next_id, spec=spec, name=name)
         self._nodes[node.node_id] = node
         self._next_id += 1
+        self._consumers.append(node)
+        self._online.append(node)  # new consumers start online, id is max
+        self.chain_index.register(node)
         return node
 
     def add_population(self, specs: Iterable[Tuple[str, NodeSpec]]) -> List[Node]:
@@ -94,13 +121,17 @@ class Overlay:
 
     @property
     def consumers(self) -> List[Node]:
-        """All consumers (everything except the source), in id order."""
-        return [n for n in self._nodes.values() if not n.is_source]
+        """All consumers (everything except the source), in id order.
+
+        Served from the incrementally maintained roster; the returned
+        list is a copy, safe for callers to shuffle or mutate.
+        """
+        return list(self._consumers)
 
     @property
     def online_consumers(self) -> List[Node]:
-        """Consumers currently online, in id order."""
-        return [n for n in self.consumers if n.online]
+        """Consumers currently online, in id order (roster copy)."""
+        return list(self._online)
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -120,8 +151,70 @@ class Overlay:
 
         Returns the source if the node is connected to it, otherwise the
         parentless consumer heading the node's fragment (a node with no
-        parent is its own root).
+        parent is its own root).  Amortized O(1) via the chain index;
+        nodes foreign to this overlay fall back to the reference walk.
         """
+        try:
+            return self.chain_index.entries[node.node_id].root
+        except KeyError:
+            return self.walk_fragment_root(node)
+
+    def depth(self, node: Node) -> int:
+        """Number of hops from the node to its fragment root (O(1))."""
+        try:
+            return self.chain_index.entries[node.node_id].depth
+        except KeyError:
+            return self.walk_depth(node)
+
+    def is_rooted(self, node: Node) -> bool:
+        """Whether ``Root(node)`` is the source (node 0)."""
+        try:
+            return self.chain_index.entries[node.node_id].rooted
+        except KeyError:
+            return self.walk_is_rooted(node)
+
+    def delay_at(self, node: Node) -> int:
+        """``DelayAt(i)``: actual delay if rooted, potential delay otherwise.
+
+        The source itself has delay 0.  A rooted node at ``h`` hops below
+        the source observes delay ``h``.  An unrooted node at ``h`` hops
+        below its fragment root would observe ``h + 1`` once that root
+        attaches directly to the source — the optimistic local estimate the
+        construction algorithms plan with.  Amortized O(1).
+
+        This is the single hottest read in the stack (the oracles filter
+        every sampled candidate by it), so the entry access is inlined:
+        one dict lookup plus one slot load.  The source's own entry
+        stores delay 0, so no special case is needed on this path.
+        """
+        try:
+            return self.chain_index.entries[node.node_id].delay
+        except KeyError:
+            return self.walk_delay_at(node)
+
+    def meets_latency(self, node: Node) -> bool:
+        """Whether the node is rooted at the source within its constraint."""
+        try:
+            entry = self.chain_index.entries[node.node_id]
+        except KeyError:
+            return self.walk_meets_latency(node)
+        if node.is_source:
+            return True
+        return entry.rooted and entry.depth <= node.latency
+
+    # ------------------------------------------------------------------
+    # chain metadata, reference implementation (walk-on-read)
+    # ------------------------------------------------------------------
+    #
+    # The pre-index walking code, kept in-tree on purpose: it is the
+    # ground truth `check_integrity()` cross-checks the index against,
+    # the fallback for nodes foreign to this overlay, and what the
+    # golden-seed guard (tests/test_chain_index.py) and the perf harness
+    # (benchmarks/perf_chain_index.py) swap back in to prove the index is
+    # behavior-invisible and to quantify what it buys.
+
+    def walk_fragment_root(self, node: Node) -> Node:
+        """Reference ``Root(i)``: walk the parent chain (O(depth))."""
         current = node
         hops = 0
         while current.parent is not None:
@@ -131,8 +224,8 @@ class Overlay:
                 raise TopologyError(f"cycle detected walking up from {node!r}")
         return current
 
-    def depth(self, node: Node) -> int:
-        """Number of hops from the node to its fragment root."""
+    def walk_depth(self, node: Node) -> int:
+        """Reference depth: count hops to the fragment root (O(depth))."""
         current = node
         hops = 0
         while current.parent is not None:
@@ -142,32 +235,25 @@ class Overlay:
                 raise TopologyError(f"cycle detected walking up from {node!r}")
         return hops
 
-    def is_rooted(self, node: Node) -> bool:
-        """Whether ``Root(node)`` is the source (node 0)."""
-        return self.fragment_root(node).is_source
+    def walk_is_rooted(self, node: Node) -> bool:
+        """Reference rootedness: derived from the walked root."""
+        return self.walk_fragment_root(node).is_source
 
-    def delay_at(self, node: Node) -> int:
-        """``DelayAt(i)``: actual delay if rooted, potential delay otherwise.
-
-        The source itself has delay 0.  A rooted node at ``h`` hops below
-        the source observes delay ``h``.  An unrooted node at ``h`` hops
-        below its fragment root would observe ``h + 1`` once that root
-        attaches directly to the source — the optimistic local estimate the
-        construction algorithms plan with.
-        """
+    def walk_delay_at(self, node: Node) -> int:
+        """Reference ``DelayAt(i)``: derived from walked root and depth."""
         if node.is_source:
             return 0
-        root = self.fragment_root(node)
-        hops = self.depth(node)
+        root = self.walk_fragment_root(node)
+        hops = self.walk_depth(node)
         if root.is_source:
             return hops
         return hops + 1
 
-    def meets_latency(self, node: Node) -> bool:
-        """Whether the node is rooted at the source within its constraint."""
+    def walk_meets_latency(self, node: Node) -> bool:
+        """Reference constraint check: derived from the walks."""
         if node.is_source:
             return True
-        return self.is_rooted(node) and self.delay_at(node) <= node.latency
+        return self.walk_is_rooted(node) and self.walk_delay_at(node) <= node.latency
 
     def is_converged(self) -> bool:
         """True when every *online* consumer meets its latency constraint.
@@ -255,6 +341,7 @@ class Overlay:
             )
         child.parent = parent
         parent.children.append(child)
+        self.chain_index.on_attach(child, parent)
         self.attach_count += 1
         self.probe.attach(child.node_id, parent.node_id)
 
@@ -271,6 +358,7 @@ class Overlay:
             raise TopologyError(f"{child!r} has no parent to leave")
         parent.children.remove(child)
         child.parent = None
+        self.chain_index.on_detach(child)
         self.detach_count += 1
         self.probe.detach(child.node_id, parent.node_id, reason)
         return parent
@@ -296,6 +384,7 @@ class Overlay:
         orphans = list(node.children)
         for child in orphans:
             child.parent = None
+            self.chain_index.on_detach(child)
             child.rounds_without_parent = 0
             # Not counted in detach_count (orphaning is the departing
             # node's doing, not a reconfiguration) but still observable.
@@ -308,6 +397,8 @@ class Overlay:
                 self.probe.referral(child.node_id, grandparent.node_id, "churn")
         node.children.clear()
         node.online = False
+        self._online.remove(node)
+        self.chain_index.touch()
         node.reset_protocol_state()
         return orphans
 
@@ -316,6 +407,8 @@ class Overlay:
         if node.online:
             raise OfflineNodeError(f"{node!r} is already online")
         node.online = True
+        insort(self._online, node, key=_BY_NODE_ID)
+        self.chain_index.touch()
         node.reset_protocol_state()
 
     # ------------------------------------------------------------------
@@ -327,7 +420,8 @@ class Overlay:
 
         Intended for tests and debug runs: parent/child links must be
         mutually consistent, fanout bounds respected, offline nodes fully
-        disconnected, and the parent relation acyclic.
+        disconnected, the parent relation acyclic, and the chain index
+        and rosters exactly consistent with the reference walks.
         """
         for node in self._nodes.values():
             if len(node.children) > node.fanout:
@@ -344,13 +438,18 @@ class Overlay:
             if not node.online and (node.parent is not None or node.children):
                 raise OfflineNodeError(f"offline {node!r} still has links")
         for node in self._nodes.values():
-            self.fragment_root(node)  # raises on cycles
+            self.walk_fragment_root(node)  # raises on cycles
+        # Cross-validate the incremental structures against ground truth.
+        self.chain_index.verify()
+        expected_consumers = [n for n in self._nodes.values() if not n.is_source]
+        if self._consumers != expected_consumers:
+            raise TopologyError("consumer roster diverged from the node table")
+        if self._online != [n for n in expected_consumers if n.online]:
+            raise TopologyError("online roster diverged from node liveness")
 
     def fragments(self) -> List[Node]:
         """Roots of all fragments: the source plus parentless online consumers."""
-        return [self.source] + [
-            n for n in self.online_consumers if n.parent is None
-        ]
+        return [self.source] + [n for n in self._online if n.parent is None]
 
     def render(self) -> str:
         """ASCII rendering of the forest, for examples and debugging."""

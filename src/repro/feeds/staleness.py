@@ -77,20 +77,18 @@ def build_report(
     rows: List[ConsumerStaleness] = []
     for node in overlay.consumers:
         consumer = consumers[node.node_id]
+        # Rootedness and DelayAt are O(1) chain-index reads.
         rooted = node.online and overlay.is_rooted(node)
         depth = overlay.delay_at(node) if rooted else 0
         # Items needing up to `depth` units to arrive: evaluate only those
         # published at least `depth + 1` units before the run ended.
         tail = depth + 1
-        evaluated_seqs = [
-            seq for seq, arrival in consumer.arrivals.items()
-        ]
+        arrivals = consumer.arrivals
         values = [
-            arrival.staleness / pull_period
-            for seq, arrival in consumer.arrivals.items()
+            arrival.staleness / pull_period for arrival in arrivals.values()
         ]
         expected = max(0, published - tail) if rooted else 0
-        received = sum(1 for seq in evaluated_seqs if seq <= expected)
+        received = sum(1 for seq in arrivals if seq <= expected)
         rows.append(
             ConsumerStaleness(
                 node_id=node.node_id,

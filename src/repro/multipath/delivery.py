@@ -67,10 +67,12 @@ class AntiAffinityDelayOracle(Oracle):
         return self.overlay.delay_at(candidate) < enquirer.latency
 
     def sample(self, enquirer: Node) -> Optional[Node]:
+        # Delay filter via O(1) chain-index reads (see Oracle.sample).
+        admits = self._admits
         candidates = [
             node
             for node in self.overlay.online_consumers
-            if node is not enquirer and self._admits(enquirer, node)
+            if node is not enquirer and admits(enquirer, node)
         ]
         if not candidates:
             self.misses += 1

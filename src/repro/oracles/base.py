@@ -67,11 +67,19 @@ class Oracle(abc.ABC):
     def sample(self, enquirer: Node) -> Optional[Node]:
         """Return a random partner for ``enquirer``, or ``None`` if no node
         currently passes this oracle's filter (the enquirer then waits and
-        retries — Alg. 2's explicit exception)."""
+        retries — Alg. 2's explicit exception).
+
+        The candidate pass is the hot loop of a simulation round: the
+        roster comes from the overlay's incrementally maintained online
+        list, and the delay/rootedness filters behind ``_admits`` are
+        O(1) chain-index reads (they used to re-walk the parent chain
+        per candidate).
+        """
+        admits = self._admits
         candidates = [
             node
             for node in self.overlay.online_consumers
-            if node is not enquirer and self._admits(enquirer, node)
+            if node is not enquirer and admits(enquirer, node)
         ]
         if not candidates:
             self.misses += 1

@@ -140,7 +140,11 @@ class DhtDirectoryOracle(Oracle):
     # ------------------------------------------------------------------
 
     def on_round(self, now: int) -> None:
-        """Consumers (re-)register; departed consumers age out implicitly."""
+        """Consumers (re-)register; departed consumers age out implicitly.
+
+        The registered delay is an O(1) chain-index read, so a full
+        re-registration sweep costs O(online) rather than O(online·depth).
+        """
         for node in self.overlay.online_consumers:
             last = self._registered.get(node.node_id, -10**9)
             if now - last >= self.refresh_interval:

@@ -29,7 +29,12 @@ class MetricsCollector:
         self.records: List[RoundRecord] = []
 
     def record(self, now: int, departures: int = 0, rejoins: int = 0) -> RoundRecord:
-        """Measure the overlay and append a record for round ``now``."""
+        """Measure the overlay and append a record for round ``now``.
+
+        :func:`~repro.core.convergence.measure` is served by the
+        per-version cached forest scan, so the runner's convergence check
+        and any same-round analysis reuse this record's traversal.
+        """
         record = RoundRecord(
             round=now,
             quality=measure(self.overlay),

@@ -275,10 +275,18 @@ class Simulation:
         self.probe.end_round(self.now, time.perf_counter() - round_start)
 
     def run(self) -> SimulationResult:
-        """Run to convergence or to the round budget; return the result."""
+        """Run to convergence or to the round budget; return the result.
+
+        The convergence check reuses the quality already measured at the
+        end of the round (one shared forest scan per round) instead of
+        re-deriving every node's delay a second time.
+        """
         while self.now < self.config.max_rounds:
             self.run_round()
-            if self.config.stop_at_convergence and self.overlay.is_converged():
+            if (
+                self.config.stop_at_convergence
+                and self.metrics.records[-1].quality.converged
+            ):
                 break
         return self.result()
 

@@ -41,7 +41,7 @@ class OverlayTrace:
             round=now,
             parents=self.overlay.snapshot(),
             online=frozenset(
-                n.node_id for n in self.overlay.consumers if n.online
+                n.node_id for n in self.overlay.online_consumers
             ),
         )
         self.frames.append(frame)

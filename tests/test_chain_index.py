@@ -1,0 +1,206 @@
+"""The chain-metadata index: exactness, integrity, behavior-invisibility.
+
+Three layers of guarantees:
+
+1. A randomized mutation-sequence property test: after *every*
+   attach/detach/churn transition, every index-backed read equals the
+   naive parent-chain walk (kept in-tree as ``Overlay.walk_*``), and the
+   incrementally maintained rosters equal their refiltered definitions.
+2. ``check_integrity()`` cross-validates the index against the walks and
+   detects a deliberately corrupted entry.
+3. A golden-seed guard: seeded construction runs produce *identical*
+   ``SimulationResult``s whether chain metadata is read through the index
+   or through the reference walks (both algorithms, all four paper
+   oracles, churn on) — the refactor is behavior-invisible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import (
+    FanoutExceededError,
+    OfflineNodeError,
+    TopologyError,
+)
+from repro.core.tree import Overlay
+from repro.sim.churn import ChurnConfig
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.workloads.random_workload import rand_workload
+
+#: The Overlay chain-metadata readers and their reference twins.
+WALKED_READS = (
+    "fragment_root",
+    "depth",
+    "is_rooted",
+    "delay_at",
+    "meets_latency",
+)
+
+
+def force_walk_on_read(monkeypatch) -> None:
+    """Route every chain-metadata read through the reference walk."""
+    for name in WALKED_READS:
+        monkeypatch.setattr(Overlay, name, getattr(Overlay, f"walk_{name}"))
+
+
+def assert_index_matches_walk(overlay: Overlay) -> None:
+    """Every index-backed read equals the naive walk, for every node."""
+    for node in overlay:
+        assert overlay.fragment_root(node) is overlay.walk_fragment_root(node)
+        assert overlay.depth(node) == overlay.walk_depth(node)
+        assert overlay.is_rooted(node) == overlay.walk_is_rooted(node)
+        assert overlay.delay_at(node) == overlay.walk_delay_at(node)
+        assert overlay.meets_latency(node) == overlay.walk_meets_latency(node)
+    naive_consumers = [n for n in overlay if not n.is_source]
+    assert overlay.consumers == naive_consumers
+    assert overlay.online_consumers == [n for n in naive_consumers if n.online]
+
+
+class TestMutationSequenceProperty:
+    def _random_overlay(self, rng: random.Random, size: int) -> Overlay:
+        overlay = Overlay(source_fanout=rng.randint(1, 4))
+        for _ in range(size):
+            overlay.add_consumer(
+                NodeSpec(latency=rng.randint(1, 10), fanout=rng.randint(1, 4))
+            )
+        return overlay
+
+    def _mutate_once(self, overlay: Overlay, rng: random.Random) -> None:
+        """Attempt one random structural or liveness transition.
+
+        Illegal attempts are fine: the checked mutators raise *before*
+        touching any state, which is itself part of what the invariant
+        check after each step exercises.
+        """
+        op = rng.choice(("attach", "attach", "detach", "offline", "online", "add"))
+        nodes = list(overlay)
+        try:
+            if op == "attach":
+                child = rng.choice(overlay.consumers)
+                parent = rng.choice(nodes)
+                overlay.attach(child, parent)
+            elif op == "detach":
+                node = rng.choice(overlay.consumers)
+                overlay.detach(node)
+            elif op == "offline":
+                overlay.go_offline(rng.choice(overlay.consumers))
+            elif op == "online":
+                overlay.go_online(rng.choice(overlay.consumers))
+            else:
+                overlay.add_consumer(
+                    NodeSpec(
+                        latency=rng.randint(1, 10), fanout=rng.randint(1, 4)
+                    )
+                )
+        except (TopologyError, FanoutExceededError, OfflineNodeError):
+            pass
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_index_equals_walk_after_every_transition(self, seed):
+        rng = random.Random(seed)
+        overlay = self._random_overlay(rng, size=30)
+        assert_index_matches_walk(overlay)
+        for _ in range(300):
+            self._mutate_once(overlay, rng)
+            assert_index_matches_walk(overlay)
+        overlay.check_integrity()
+
+    def test_offline_cascade_reroots_every_orphan_subtree(self):
+        overlay = Overlay(source_fanout=2)
+        nodes = [
+            overlay.add_consumer(NodeSpec(latency=9, fanout=3))
+            for _ in range(7)
+        ]
+        a, b, c, d, e, f, g = nodes
+        overlay.attach(a, overlay.source)
+        overlay.attach(b, a)
+        overlay.attach(c, b)
+        overlay.attach(d, b)
+        overlay.attach(e, d)
+        overlay.attach(f, a)
+        overlay.attach(g, f)
+        # b departs: c and d (with e under it) become fragment roots.
+        overlay.go_offline(b)
+        assert c.parent is None and d.parent is None
+        assert overlay.fragment_root(e) is d
+        assert overlay.delay_at(e) == 2  # potential: depth 1 + 1
+        assert overlay.delay_at(b) == 1  # offline: own root, potential 1
+        assert_index_matches_walk(overlay)
+        overlay.check_integrity()
+
+
+class TestIntegrityCrossCheck:
+    def test_check_integrity_detects_corrupted_depth(self):
+        overlay = Overlay(source_fanout=2)
+        a = overlay.add_consumer(NodeSpec(latency=3, fanout=2))
+        b = overlay.add_consumer(NodeSpec(latency=5, fanout=2))
+        overlay.attach(a, overlay.source)
+        overlay.attach(b, a)
+        overlay.check_integrity()
+        overlay.chain_index.entries[b.node_id].depth = 99
+        with pytest.raises(TopologyError, match="diverged"):
+            overlay.check_integrity()
+
+    def test_check_integrity_detects_corrupted_root(self):
+        overlay = Overlay(source_fanout=2)
+        a = overlay.add_consumer(NodeSpec(latency=3, fanout=2))
+        b = overlay.add_consumer(NodeSpec(latency=5, fanout=2))
+        overlay.attach(a, overlay.source)
+        overlay.chain_index.entries[a.node_id].root = b
+        with pytest.raises(TopologyError, match="diverged"):
+            overlay.check_integrity()
+
+    def test_foreign_node_falls_back_to_reference_walk(self):
+        overlay = Overlay(source_fanout=2)
+        other = Overlay(source_fanout=2)
+        foreign = other.add_consumer(NodeSpec(latency=4, fanout=1))
+        assert overlay.delay_at(foreign) == other.delay_at(foreign)
+        assert overlay.fragment_root(foreign) is foreign
+
+    def test_rebuild_recovers_from_corruption(self):
+        overlay = Overlay(source_fanout=2)
+        a = overlay.add_consumer(NodeSpec(latency=3, fanout=2))
+        overlay.attach(a, overlay.source)
+        overlay.chain_index.entries[a.node_id].depth = 42
+        overlay.chain_index.rebuild()
+        overlay.check_integrity()
+
+
+class TestGoldenSeedGuard:
+    """Seeded runs are bit-identical with and without the index."""
+
+    ORACLES = (
+        "random",
+        "random-capacity",
+        "random-delay-capacity",
+        "random-delay",
+    )
+
+    @staticmethod
+    def _run(algorithm: str, oracle: str):
+        workload, _ = rand_workload(size=36, seed=5, source_fanout=3)
+        config = SimulationConfig(
+            algorithm=algorithm,
+            oracle=oracle,
+            seed=17,
+            max_rounds=250,
+            churn=ChurnConfig(),  # churn transitions included in the guard
+        )
+        return run_simulation(workload, config)
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "hybrid"])
+    @pytest.mark.parametrize("oracle", ORACLES)
+    def test_result_identical_with_and_without_index(
+        self, algorithm, oracle, monkeypatch
+    ):
+        indexed = self._run(algorithm, oracle)
+        with monkeypatch.context() as patched:
+            force_walk_on_read(patched)
+            walked = self._run(algorithm, oracle)
+        # SimulationResult equality covers convergence round, final
+        # quality, per-round satisfied series and reconfiguration counts.
+        assert indexed == walked
