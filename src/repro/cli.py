@@ -35,6 +35,7 @@ from typing import List, Optional
 
 from repro.analysis.reporting import ascii_table
 from repro.core.constraints import parse_population
+from repro.core.protocol import ProtocolConfig
 from repro.core.sufficiency import find_feasible_configuration, sufficiency_holds
 from repro.sim.churn import ChurnConfig
 from repro.sim.runner import ALGORITHMS, Simulation, SimulationConfig
@@ -75,6 +76,19 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--max-rounds", type=int, default=6000)
     build.add_argument(
         "--churn", action="store_true", help="enable the paper's churn model"
+    )
+    build.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject a fault plan, e.g. 'crash@60:0.2:rejoin=15,"
+        "source-outage@80:10' (see docs/RESILIENCE.md for the DSL)",
+    )
+    build.add_argument(
+        "--harden",
+        action="store_true",
+        help="enable the protocol hardening (source-contact backoff and "
+        "stale-referral requeue)",
     )
     build.add_argument(
         "--render", action="store_true", help="print the final tree"
@@ -154,13 +168,26 @@ def _cmd_build(args: argparse.Namespace) -> int:
         from repro.obs import RecordingProbe
 
         probe = RecordingProbe()
+    faults = None
+    if args.faults:
+        from repro.faults import parse_fault_plan
+
+        faults = parse_fault_plan(args.faults)
+    protocol = ProtocolConfig(
+        source_backoff=args.harden, requeue_stale_referrals=args.harden
+    )
     config = SimulationConfig(
         algorithm=args.algorithm,
         oracle=args.oracle,
         oracle_realization=args.oracle_realization,
+        protocol=protocol,
         seed=args.seed,
         max_rounds=args.max_rounds,
         churn=ChurnConfig() if args.churn else None,
+        faults=faults,
+        # Fault runs study recovery, so keep running after convergence
+        # (otherwise the run would stop before the plan fires).
+        stop_at_convergence=faults is None,
     )
     simulation = Simulation(workload, config, probe=probe)
     result = simulation.run()
@@ -178,6 +205,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
             ],
         )
     )
+    if faults is not None:
+        recover = (
+            result.time_to_recover
+            if result.time_to_recover is not None
+            else "never"
+        )
+        print(
+            ascii_table(
+                ["fault events", "availability", "time to recover"],
+                [[result.fault_events, f"{result.availability:.1%}", recover]],
+            )
+        )
     if args.render:
         print()
         print(simulation.overlay.render())
@@ -269,6 +308,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     import json
 
     from repro.obs.export import (
+        counter_rows,
         event_count_rows,
         histogram_rows,
         phase_timing_rows,
@@ -306,6 +346,10 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 [[p, s, c, f"{share:.1%}"] for p, s, c, share in timing_rows],
             )
         )
+    subsystem_rows = counter_rows(trace)
+    if subsystem_rows:
+        print()
+        print(ascii_table(["counter", "value"], subsystem_rows))
     metric_rows = histogram_rows(trace)
     if metric_rows:
         print()

@@ -76,6 +76,13 @@ class Node:
     #: First round at which the node may act again (asynchronous mode);
     #: 0 means "free now".
     busy_until: int = 0
+    #: Consecutive failed direct source contacts (rejections/outages);
+    #: drives the exponential backoff when ``ProtocolConfig.source_backoff``
+    #: is enabled.  Reset on any successful attach.
+    source_failures: int = 0
+    #: Backed-off replacement for ``ProtocolConfig.timeout`` while source
+    #: contacts keep failing; 0 means "no backoff, use the config timeout".
+    source_retry_timeout: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -119,6 +126,8 @@ class Node:
         self.violation_rounds = 0
         self.referral = None
         self.busy_until = 0
+        self.source_failures = 0
+        self.source_retry_timeout = 0
 
     def label(self) -> str:
         """Paper notation, e.g. ``a_2^1`` (source renders as ``0_f``)."""

@@ -56,17 +56,48 @@ class ProtocolConfig:
         Whether the source supports only pulls (§2.1.2, the RSS case — the
         default) or can push, which changes the Hybrid decision at a
         source child (Alg. 2 steps 21+).
+    source_backoff:
+        Hardening (off by default, which preserves the paper's protocol
+        bit-for-bit): after a failed direct source contact the node's
+        personal retry timeout doubles — ``min(timeout * 2^failures,
+        backoff_cap)`` plus up to ``backoff_jitter`` rounds of seeded
+        jitter — instead of re-hammering the source every ``timeout``
+        rounds.  Defuses the thundering herd after a mass rejoin or a
+        source outage (see ``docs/RESILIENCE.md``).  Any successful
+        attach resets the episode.
+    backoff_cap:
+        Upper bound on the backed-off retry timeout, in rounds.
+    backoff_jitter:
+        Maximum seeded jitter added to a backed-off retry timeout, in
+        rounds (0 disables jitter); drawn from the dedicated ``backoff``
+        RNG stream so enabling it never perturbs other streams.
+    requeue_stale_referrals:
+        Hardening (off by default): when the round's partner came from a
+        referral but turns out to be in the node's own fragment (stale —
+        e.g. a fault-era hint that predates a merge), immediately requery
+        the oracle once instead of silently wasting the round.
     """
 
     timeout: int = 4
     maintenance_timeout: int = 1
     pull_only_source: bool = True
+    source_backoff: bool = False
+    backoff_cap: int = 64
+    backoff_jitter: int = 2
+    requeue_stale_referrals: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout < 1:
             raise ConfigurationError("timeout must be >= 1 round")
         if self.maintenance_timeout < 0:
             raise ConfigurationError("maintenance_timeout must be >= 0")
+        if self.backoff_cap < self.timeout:
+            raise ConfigurationError(
+                f"backoff_cap ({self.backoff_cap}) must be >= timeout "
+                f"({self.timeout})"
+            )
+        if self.backoff_jitter < 0:
+            raise ConfigurationError("backoff_jitter must be >= 0")
 
 
 class ConstructionAlgorithm(abc.ABC):
@@ -82,6 +113,18 @@ class ConstructionAlgorithm(abc.ABC):
     #: Edge policy enforced on every consumer-to-consumer edge this
     #: algorithm creates.
     edge_ok: EdgePolicy
+
+    #: Live fault conditions (:class:`repro.faults.state.FaultState`), set
+    #: post-construction by the runner when a fault plan is installed.
+    #: Class attribute rather than a constructor parameter so the
+    #: ``algorithm_cls(overlay, oracle, config)`` construction idiom (and
+    #: every registered subclass variant) keeps working unchanged.
+    faults = None
+
+    #: Dedicated RNG stream for backoff jitter (``random.Random`` or
+    #: ``None``), set post-construction by the runner.  Only drawn from
+    #: when ``config.source_backoff`` is enabled with nonzero jitter.
+    backoff_rng = None
 
     def __init__(
         self,
@@ -112,12 +155,12 @@ class ConstructionAlgorithm(abc.ABC):
         if node.is_source or node.parent is not None or not node.online:
             return
         node.rounds_without_parent += 1
-        if node.rounds_without_parent > self.config.timeout:
+        if node.rounds_without_parent > self._timeout_for(node):
             node.rounds_without_parent = 0
             self.probe.timeout(node.node_id)
             self.contact_source(node)
             return
-        partner = self._next_partner(node)
+        partner, from_referral = self._next_partner(node)
         if partner is None:
             return  # oracle found no suitable partner; wait and try again
         if partner.is_source:
@@ -125,16 +168,42 @@ class ConstructionAlgorithm(abc.ABC):
             self.contact_source(node)
             return
         if self.overlay.fragment_root(partner) is node:
-            return  # partner is in the node's own fragment (O(1) index read)
+            # Partner is in the node's own fragment (O(1) index read) —
+            # useless for a merge.  A *referred* same-fragment partner is
+            # a stale hint (e.g. it predates a merge); with the requeue
+            # hardening on, spend the round on one fresh oracle query
+            # instead of silently wasting it.
+            if from_referral and self.config.requeue_stale_referrals:
+                self.probe.stale_referral(
+                    node.node_id, partner.node_id, "same-fragment"
+                )
+                partner = self.oracle.sample(node)
+                if partner is None or self.overlay.fragment_root(partner) is node:
+                    return
+                self._interact(node, partner)
+            return
         self._interact(node, partner)
 
-    def _next_partner(self, node: Node) -> Optional[Node]:
-        """The partner for this round: last referral if usable, else oracle."""
+    def _timeout_for(self, node: Node) -> int:
+        """Effective source-contact timeout: backed-off when an episode is
+        running (``source_retry_timeout`` of 0 means no episode)."""
+        if self.config.source_backoff and node.source_retry_timeout:
+            return node.source_retry_timeout
+        return self.config.timeout
+
+    def _next_partner(self, node: Node):
+        """The partner for this round and whether it came from a referral:
+        last referral if usable, else an oracle sample."""
         partner = node.referral
         node.referral = None
-        if partner is not None and partner.online and partner is not node:
-            return partner
-        return self.oracle.sample(node)
+        if partner is not None and partner is not node:
+            if partner.online:
+                return partner, True
+            # Stale referral: the hinted partner has since departed.
+            # Observability only — falling back to the oracle is what the
+            # protocol always did.
+            self.probe.stale_referral(node.node_id, partner.node_id, "offline")
+        return self.oracle.sample(node), False
 
     # ------------------------------------------------------------------
     # interaction at the source (shared by both algorithms)
@@ -148,20 +217,58 @@ class ConstructionAlgorithm(abc.ABC):
         Attach directly if the source has free capacity; otherwise displace
         the direct child with the laxest latency constraint that is laxer
         than the contacting node's (``c <- i <- 0``).
+
+        During a :class:`~repro.faults.plan.SourceOutage` window the source
+        rejects the contact outright.  Every contact is reported through
+        :meth:`~repro.obs.probe.Probe.source_contact` with its outcome
+        (``attach`` / ``displace`` / ``reject`` / ``outage``); failed
+        contacts feed the exponential backoff when enabled.
         """
         source = self.overlay.source
+        if not self._source_available():
+            self.probe.source_contact(node.node_id, "outage")
+            self._register_source_failure(node)
+            return False
         if try_attach(self.overlay, node, source, self.edge_ok):
+            self.probe.source_contact(node.node_id, "attach")
             return True
         candidates = [c for c in source.children if c.latency > node.latency]
-        if not candidates:
-            return False
-        victim = max(candidates, key=lambda c: (c.latency, -c.fanout))
-        return try_displace_at_source(
-            self.overlay,
-            node,
-            victim,
-            self.edge_ok,
-            allow_shed=self._shed_allowed(),
+        if candidates:
+            victim = max(candidates, key=lambda c: (c.latency, -c.fanout))
+            if try_displace_at_source(
+                self.overlay,
+                node,
+                victim,
+                self.edge_ok,
+                allow_shed=self._shed_allowed(),
+            ):
+                self.probe.source_contact(node.node_id, "displace")
+                return True
+        self.probe.source_contact(node.node_id, "reject")
+        self._register_source_failure(node)
+        return False
+
+    def _source_available(self) -> bool:
+        """Whether the source accepts direct contacts this round (always,
+        unless a fault plan has an active source outage)."""
+        return self.faults is None or self.faults.source_available()
+
+    def _register_source_failure(self, node: Node) -> None:
+        """Account a failed source contact; grow the node's personal retry
+        timeout when the backoff hardening is enabled."""
+        node.source_failures += 1
+        if not self.config.source_backoff:
+            return
+        base = min(
+            self.config.timeout * (2 ** node.source_failures),
+            self.config.backoff_cap,
+        )
+        jitter = 0
+        if self.backoff_rng is not None and self.config.backoff_jitter:
+            jitter = self.backoff_rng.randint(0, self.config.backoff_jitter)
+        node.source_retry_timeout = base + jitter
+        self.probe.backoff(
+            node.node_id, node.source_failures, node.source_retry_timeout
         )
 
     def _shed_allowed(self) -> bool:

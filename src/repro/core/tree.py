@@ -343,6 +343,10 @@ class Overlay:
         parent.children.append(child)
         self.chain_index.on_attach(child, parent)
         self.attach_count += 1
+        # Any successful attach ends a source-contact backoff episode
+        # (no-op unless backoff is enabled and an episode was running).
+        child.source_failures = 0
+        child.source_retry_timeout = 0
         self.probe.attach(child.node_id, parent.node_id)
 
     def detach(self, child: Node, reason: str = "detach") -> Node:
@@ -367,12 +371,25 @@ class Overlay:
     # churn transitions
     # ------------------------------------------------------------------
 
-    def go_offline(self, node: Node) -> List[Node]:
-        """Take a consumer offline (churn departure).
+    def go_offline(
+        self, node: Node, graceful: bool = True, reason: str = "churn"
+    ) -> List[Node]:
+        """Take a consumer offline (departure).
 
         The node is severed from its parent; each of its children becomes
         the parentless root of its own fragment (they keep their subtrees).
         Returns the orphaned children.
+
+        ``graceful`` departures (the default — churn leaves are modelled
+        as announced) hand each orphan a referral to the leaver's own
+        parent: chain metadata is piggy-backed along the chain (§2.1.3),
+        so an orphan knows its former grandparent — the natural first
+        candidate for re-attachment (it just lost a child slot).  A
+        *crash* (``graceful=False``, used by the fault injector) leaves
+        no such hint: the orphans must rediscover partners through the
+        oracle or the source.  ``reason`` annotates the emitted detach
+        events (``{reason}`` for the edge above, ``{reason}-orphan``
+        below) and never changes behaviour.
         """
         if node.is_source:
             raise TopologyError("the source never leaves (paper §2.1.2)")
@@ -380,7 +397,7 @@ class Overlay:
             raise OfflineNodeError(f"{node!r} is already offline")
         grandparent = node.parent
         if node.parent is not None:
-            self.detach(node, reason="churn")
+            self.detach(node, reason=reason)
         orphans = list(node.children)
         for child in orphans:
             child.parent = None
@@ -388,13 +405,10 @@ class Overlay:
             child.rounds_without_parent = 0
             # Not counted in detach_count (orphaning is the departing
             # node's doing, not a reconfiguration) but still observable.
-            self.probe.detach(child.node_id, node.node_id, "churn-orphan")
-            # Chain metadata is piggy-backed along the chain (§2.1.3), so
-            # an orphan knows its former grandparent — the natural first
-            # candidate for re-attachment (it just lost a child slot).
-            if grandparent is not None and grandparent.online:
+            self.probe.detach(child.node_id, node.node_id, f"{reason}-orphan")
+            if graceful and grandparent is not None and grandparent.online:
                 child.referral = grandparent
-                self.probe.referral(child.node_id, grandparent.node_id, "churn")
+                self.probe.referral(child.node_id, grandparent.node_id, reason)
         node.children.clear()
         node.online = False
         self._online.remove(node)

@@ -1,0 +1,159 @@
+"""The fault injector: applies a :class:`~repro.faults.plan.FaultPlan`.
+
+One :class:`FaultInjector` belongs to one simulation run.  The runner
+calls :meth:`FaultInjector.inject` once per round — *after* the round's
+action roster has been shuffled, so crash victims can land mid-schedule
+and the runner's ``if not node.online`` guard is what keeps them from
+acting posthumously (a tested behaviour, not a defensive nicety).
+
+Every random choice the injector makes (crash victims, partition sides)
+comes from the dedicated ``"faults"`` RNG stream handed in by the
+runner's :class:`~repro.sim.rng.StreamFactory`.  A plan that fires
+nothing draws nothing, which is what makes a
+:class:`~repro.faults.plan.NullFaultPlan` run bit-identical to a run
+with no plan installed.
+
+Injections are reported twice: as :class:`~repro.obs.events.FaultInjected`
+protocol events through the overlay's probe, and as fault rounds to the
+``on_fault`` callback (the runner wires it to
+:meth:`repro.sim.metrics.MetricsCollector.note_fault`) from which the
+recovery metrics — time-to-recover, availability, per-fault recovery
+series — are derived.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.core.tree import Overlay
+from repro.faults.plan import (
+    CrashNodes,
+    FaultPlan,
+    FaultSpec,
+    MassCrash,
+    OracleOutage,
+    SourceOutage,
+    StaleOracleView,
+    ViewPartition,
+)
+from repro.faults.state import FaultState
+
+
+class FaultInjector:
+    """Applies one fault plan to one overlay, round by round."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        plan: FaultPlan,
+        rng: random.Random,
+        on_fault: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.overlay = overlay
+        self.plan = plan
+        self.rng = rng
+        self.on_fault = on_fault
+        self.state = FaultState()
+        #: Lifetime counts, surfaced on the simulation result.
+        self.injected = 0
+        self.crashes = 0
+        self.rejoins = 0
+        self._by_round: Dict[int, List[FaultSpec]] = {}
+        for spec in plan.specs:
+            self._by_round.setdefault(spec.round, []).append(spec)
+        #: round -> node ids due to rejoin in a burst that round.
+        self._pending_rejoins: Dict[int, List[int]] = {}
+
+    @property
+    def probe(self):
+        """The run's observability probe (shared through the overlay)."""
+        return self.overlay.probe
+
+    # ------------------------------------------------------------------
+
+    def inject(self, now: int) -> None:
+        """Advance fault state to round ``now`` and fire due specs."""
+        self.state.now = now
+        due_rejoins = self._pending_rejoins.pop(now, None)
+        if due_rejoins:
+            self._mass_rejoin(now, due_rejoins)
+        for spec in self._by_round.pop(now, ()):
+            self._apply(spec, now)
+
+    # ------------------------------------------------------------------
+
+    def _fired(self, now: int, fault: str, affected: int) -> None:
+        self.injected += 1
+        self.probe.fault_injected(fault, affected)
+        if self.on_fault is not None:
+            self.on_fault(now)
+
+    def _apply(self, spec: FaultSpec, now: int) -> None:
+        if isinstance(spec, MassCrash):
+            online = self.overlay.online_consumers  # id order: deterministic
+            count = max(1, round(len(online) * spec.fraction)) if online else 0
+            victims = self.rng.sample(online, count) if count else []
+            self._crash(now, victims, spec.graceful, spec.rejoin_after)
+            self._fired(
+                now, "mass-leave" if spec.graceful else "mass-crash", len(victims)
+            )
+        elif isinstance(spec, CrashNodes):
+            victims = [
+                self.overlay.node(node_id)
+                for node_id in spec.node_ids
+                if self.overlay.node(node_id).online
+            ]
+            self._crash(now, victims, spec.graceful, spec.rejoin_after)
+            self._fired(now, "crash-nodes", len(victims))
+        elif isinstance(spec, SourceOutage):
+            self.state.source_down_until = max(
+                self.state.source_down_until, now + spec.duration
+            )
+            self._fired(now, "source-outage", spec.duration)
+        elif isinstance(spec, OracleOutage):
+            self.state.oracle_down_until = max(
+                self.state.oracle_down_until, now + spec.duration
+            )
+            self._fired(now, "oracle-outage", spec.duration)
+        elif isinstance(spec, StaleOracleView):
+            self.state.stale_until = max(
+                self.state.stale_until, now + spec.duration
+            )
+            self.state.staleness = spec.staleness
+            self._fired(now, "stale-view", spec.duration)
+        elif isinstance(spec, ViewPartition):
+            # Every consumer gets a side, online or not — a peer that
+            # rejoins mid-partition lands on its assigned side.
+            self.state.side_of = {
+                node.node_id: self.rng.randrange(spec.sides)
+                for node in self.overlay.consumers
+            }
+            self.state.partition_until = max(
+                self.state.partition_until, now + spec.duration
+            )
+            self._fired(now, "partition", spec.sides)
+        else:  # pragma: no cover - plan validation rejects unknown specs
+            raise TypeError(f"unhandled fault spec {spec!r}")
+
+    def _crash(self, now, victims, graceful: bool, rejoin_after) -> None:
+        reason = "leave" if graceful else "crash"
+        for node in victims:
+            self.overlay.go_offline(node, graceful=graceful, reason=reason)
+            self.crashes += 1
+        if rejoin_after is not None and victims:
+            self._pending_rejoins.setdefault(now + rejoin_after, []).extend(
+                node.node_id for node in victims
+            )
+
+    def _mass_rejoin(self, now: int, node_ids: List[int]) -> None:
+        """Bring a crash cohort back in one burst (thundering herd)."""
+        revived = 0
+        for node_id in node_ids:
+            node = self.overlay.node(node_id)
+            if not node.online:  # churn may have beaten us to the rejoin
+                self.overlay.go_online(node)
+                revived += 1
+                self.rejoins += 1
+        if revived:
+            self._fired(now, "mass-rejoin", revived)

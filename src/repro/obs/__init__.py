@@ -18,16 +18,22 @@ from repro.obs.counters import (
 from repro.obs.events import (
     AttachAccept,
     AttachReject,
+    Backoff,
     ChurnLeave,
     ChurnRejoin,
     Detach,
     Event,
     EVENT_TYPES,
+    FaultInjected,
     MaintenanceTrigger,
+    MessageDrop,
     MessageSend,
     OracleMiss,
     OracleQuery,
+    Recovery,
     Referral,
+    SourceContact,
+    StaleReferral,
     Timeout,
     event_from_dict,
 )
@@ -38,15 +44,18 @@ from repro.obs.timing import PhaseTimings
 __all__ = [
     "AttachAccept",
     "AttachReject",
+    "Backoff",
     "ChurnLeave",
     "ChurnRejoin",
     "Counter",
     "Detach",
     "EVENT_TYPES",
     "Event",
+    "FaultInjected",
     "Gauge",
     "Histogram",
     "MaintenanceTrigger",
+    "MessageDrop",
     "MessageSend",
     "MetricsRegistry",
     "NULL_PROBE",
@@ -56,7 +65,10 @@ __all__ = [
     "PhaseTimings",
     "Probe",
     "RecordingProbe",
+    "Recovery",
     "Referral",
+    "SourceContact",
+    "StaleReferral",
     "Timeout",
     "Trace",
     "event_from_dict",

@@ -177,6 +177,89 @@ class MessageSend(Event):
     message_kind: str
 
 
+@dataclasses.dataclass(frozen=True)
+class MessageDrop(Event):
+    """A message was dropped by the simulated network.
+
+    ``reason`` is ``"loss"`` (the link's Bernoulli loss fired) or
+    ``"unroutable"`` (no handler registered for the recipient at
+    delivery time).
+    """
+
+    kind: ClassVar[str] = "message-drop"
+
+    sender: Any
+    recipient: Any
+    message_kind: str
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceContact(Event):
+    """``node`` contacted the source directly (the Alg. 2 timeout branch).
+
+    ``outcome`` is ``"attach"`` (free slot), ``"displace"`` (took over a
+    laxer child's slot), ``"reject"`` (no slot and nobody displaceable)
+    or ``"outage"`` (a fault plan's source outage refused the contact).
+    """
+
+    kind: ClassVar[str] = "source-contact"
+
+    node: int
+    outcome: str
+
+
+@dataclasses.dataclass(frozen=True)
+class StaleReferral(Event):
+    """``node`` held a referral to ``target`` that proved stale.
+
+    ``reason`` is ``"offline"`` (the hinted partner departed before the
+    referral was consumed) or ``"same-fragment"`` (the hint pointed back
+    into the node's own fragment — useless for a merge).
+    """
+
+    kind: ClassVar[str] = "stale-referral"
+
+    node: int
+    target: int
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Backoff(Event):
+    """``node`` backed off after its ``failures``-th failed source contact;
+    it will not re-contact the source for ``delay`` rounds."""
+
+    kind: ClassVar[str] = "backoff"
+
+    node: int
+    failures: int
+    delay: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultInjected(Event):
+    """A fault plan fired: ``fault`` names the spec kind, ``affected`` its
+    magnitude (victims crashed, window rounds, or partition sides)."""
+
+    kind: ClassVar[str] = "fault-injected"
+
+    fault: str
+    affected: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Recovery(Event):
+    """The overlay re-converged ``rounds`` rounds after the fault injected
+    in round ``fault_round`` (this event's own ``round`` is the recovery
+    round)."""
+
+    kind: ClassVar[str] = "recovery"
+
+    fault_round: int
+    rounds: int
+
+
 #: Registry of all event types by their wire ``kind``.
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -192,6 +275,12 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         ChurnLeave,
         ChurnRejoin,
         MessageSend,
+        MessageDrop,
+        SourceContact,
+        StaleReferral,
+        Backoff,
+        FaultInjected,
+        Recovery,
     )
 }
 

@@ -183,6 +183,23 @@ def phase_timing_rows(trace: Trace) -> List[List[object]]:
     return rows
 
 
+def counter_rows(trace: Trace) -> List[List[object]]:
+    """Table rows ``[name, value]`` for non-event counters.
+
+    The per-kind ``events.*`` counters duplicate :func:`event_count_rows`
+    and are skipped; what remains are the subsystem totals — e.g.
+    ``network.dropped_loss`` / ``network.dropped_unroutable`` from the
+    message transport, ``faults.*`` injections and ``source.contact_*``
+    outcomes.
+    """
+    rows = []
+    for name, stats in sorted(trace.metrics.items()):
+        if stats.get("metric") != "counter" or name.startswith("events."):
+            continue
+        rows.append([name, int(stats.get("value", 0))])
+    return rows
+
+
 def histogram_rows(trace: Trace) -> List[List[object]]:
     """Table rows ``[name, count, mean, min, max]`` for trace histograms."""
     rows = []

@@ -26,15 +26,21 @@ from repro.obs.counters import MetricsRegistry
 from repro.obs.events import (
     AttachAccept,
     AttachReject,
+    Backoff,
     ChurnLeave,
     ChurnRejoin,
     Detach,
     Event,
+    FaultInjected,
     MaintenanceTrigger,
+    MessageDrop,
     MessageSend,
     OracleMiss,
     OracleQuery,
+    Recovery,
     Referral,
+    SourceContact,
+    StaleReferral,
     Timeout,
 )
 
@@ -91,6 +97,16 @@ class Probe:
     def timeout(self, node: int) -> None:
         """``node`` timed out parentless and contacted the source."""
 
+    def source_contact(self, node: int, outcome: str) -> None:
+        """``node`` contacted the source directly (see :class:`SourceContact`)."""
+
+    def stale_referral(self, node: int, target: int, reason: str) -> None:
+        """``node``'s referral to ``target`` proved stale."""
+
+    def backoff(self, node: int, failures: int, delay: int) -> None:
+        """``node`` backed off for ``delay`` rounds after ``failures``
+        consecutive failed source contacts."""
+
     # --- membership and substrate ----------------------------------------
 
     def churn_leave(self, node: int, orphans: int) -> None:
@@ -101,6 +117,20 @@ class Probe:
 
     def message_send(self, sender: Any, recipient: Any, kind: str) -> None:
         """A message entered the simulated network."""
+
+    def message_drop(
+        self, sender: Any, recipient: Any, kind: str, reason: str
+    ) -> None:
+        """A message was dropped (``"loss"`` or ``"unroutable"``)."""
+
+    # --- faults and recovery ----------------------------------------------
+
+    def fault_injected(self, fault: str, affected: int) -> None:
+        """A fault plan fired (see :class:`FaultInjected`)."""
+
+    def recovery(self, fault_round: int, rounds: int) -> None:
+        """The overlay re-converged ``rounds`` rounds after the fault of
+        round ``fault_round``."""
 
 
 class NullProbe(Probe):
@@ -140,6 +170,7 @@ class RecordingProbe(Probe):
                 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 10.0,
             ),
         )
+        self._recovery_rounds = self.registry.histogram("recovery.rounds")
 
     def _record(self, event: Event) -> None:
         self.events.append(event)
@@ -215,6 +246,24 @@ class RecordingProbe(Probe):
     def timeout(self, node: int) -> None:
         self._record(Timeout(round=self._round, node=node))
 
+    def source_contact(self, node: int, outcome: str) -> None:
+        self._record(
+            SourceContact(round=self._round, node=node, outcome=outcome)
+        )
+        self.registry.counter(f"source.contact_{outcome}").inc()
+
+    def stale_referral(self, node: int, target: int, reason: str) -> None:
+        self._record(
+            StaleReferral(
+                round=self._round, node=node, target=target, reason=reason
+            )
+        )
+
+    def backoff(self, node: int, failures: int, delay: int) -> None:
+        self._record(
+            Backoff(round=self._round, node=node, failures=failures, delay=delay)
+        )
+
     # --- membership and substrate ----------------------------------------
 
     def churn_leave(self, node: int, orphans: int) -> None:
@@ -236,6 +285,36 @@ class RecordingProbe(Probe):
                 message_kind=kind,
             )
         )
+
+    def message_drop(
+        self, sender: Any, recipient: Any, kind: str, reason: str
+    ) -> None:
+        self._record(
+            MessageDrop(
+                round=self._round,
+                sender=sender,
+                recipient=recipient,
+                message_kind=kind,
+                reason=reason,
+            )
+        )
+        # Mirrors MessageNetwork.dropped_loss / dropped_unroutable, so the
+        # drop totals survive into exported traces and `repro obs summarize`.
+        self.registry.counter(f"network.dropped_{reason}").inc()
+
+    # --- faults and recovery ----------------------------------------------
+
+    def fault_injected(self, fault: str, affected: int) -> None:
+        self._record(
+            FaultInjected(round=self._round, fault=fault, affected=affected)
+        )
+        self.registry.counter(f"faults.{fault}").inc()
+
+    def recovery(self, fault_round: int, rounds: int) -> None:
+        self._record(
+            Recovery(round=self._round, fault_round=fault_round, rounds=rounds)
+        )
+        self._recovery_rounds.observe(rounds)
 
     # --- convenience ------------------------------------------------------
 

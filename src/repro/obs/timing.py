@@ -1,9 +1,11 @@
 """Per-round and per-phase wall-clock timing.
 
 One simulation round decomposes into phases — ``churn`` (membership
-step), ``oracle`` (directory/gossip upkeep), ``step`` (construction
-steps of parentless nodes), ``maintain`` (maintenance rule at parented
-nodes) and ``measure`` (quality snapshot + trace capture).
+step), ``oracle`` (directory/gossip upkeep), ``faults`` (fault-plan
+injection, present only when a plan is installed), ``step``
+(construction steps of parentless nodes), ``maintain`` (maintenance
+rule at parented nodes) and ``measure`` (quality snapshot + trace
+capture).
 :class:`PhaseTimings` accumulates wall-clock per phase so "where does
 the time go" is answerable per run, which is the precondition for every
 perf PR the ROADMAP asks for.
@@ -21,7 +23,14 @@ import time
 from typing import Dict, List, Sequence
 
 #: Canonical phase order for reports (unknown phases sort after these).
-PHASE_ORDER: Sequence[str] = ("churn", "oracle", "step", "maintain", "measure")
+PHASE_ORDER: Sequence[str] = (
+    "churn",
+    "oracle",
+    "faults",
+    "step",
+    "maintain",
+    "measure",
+)
 
 
 class _PhaseSpan:

@@ -92,6 +92,18 @@ class Oracle(abc.ABC):
         )
         return partner
 
+    def admits(self, enquirer: Node, candidate: Node) -> bool:
+        """Whether ``candidate`` passes this oracle's filter — the public
+        face of ``_admits``, applied to the overlay's *live* state.
+
+        Used by fault decorators (:class:`repro.faults.oracle.FaultGatedOracle`)
+        that restrict the candidate pool (e.g. to one partition side) but
+        must keep this oracle's own filter semantics.  Walk- and
+        directory-based realizations override this with their filter
+        applied to live values, since their ``_admits`` is unused.
+        """
+        return self._admits(enquirer, candidate)
+
     @abc.abstractmethod
     def _admits(self, enquirer: Node, candidate: Node) -> bool:
         """Whether ``candidate`` passes this oracle's filter."""

@@ -192,6 +192,19 @@ class DhtDirectoryOracle(Oracle):
         )
         return node
 
+    def admits(self, enquirer: Node, candidate: Node) -> bool:
+        """This directory's filter mode, applied to *live* overlay values
+        (for fault decorators that bypass the registered records)."""
+        if candidate is enquirer:
+            return False
+        if self.filter_mode in ("capacity", "delay-capacity"):
+            if candidate.free_fanout <= 0:
+                return False
+        if self.filter_mode in ("delay", "delay-capacity"):
+            if self.overlay.delay_at(candidate) >= enquirer.latency:
+                return False
+        return True
+
     def _admits(self, enquirer: Node, candidate: Node) -> bool:
         return True  # unused: sampling is directory-based
 

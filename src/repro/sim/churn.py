@@ -79,9 +79,13 @@ class ChurnProcess:
         events = ChurnEvents(left=[], rejoined=[], orphaned=[])
         if now < self.config.start_round:
             return events
-        # Decide on a snapshot so a peer cannot leave and rejoin (or vice
-        # versa) within the same step.
-        consumers = self.overlay.consumers
+        # Decide on an explicit snapshot copy so a peer cannot leave and
+        # rejoin (or vice versa) within the same step, and so the
+        # go_offline/go_online roster mutations below cannot skip or
+        # double-visit anyone.  (`Overlay.consumers` happens to return a
+        # copy today, but this loop's correctness must not hinge on that
+        # implementation detail — pinned by tests/test_churn.py.)
+        consumers = list(self.overlay.consumers)
         for node in consumers:
             if node.online:
                 if self.rng.random() < self.config.leave_probability:

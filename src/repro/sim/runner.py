@@ -25,6 +25,9 @@ from repro.core.greedy import GreedyConstruction
 from repro.core.hybrid import HybridConstruction
 from repro.core.protocol import ConstructionAlgorithm, ProtocolConfig
 from repro.core.tree import Overlay
+from repro.faults.injector import FaultInjector
+from repro.faults.oracle import FaultGatedOracle
+from repro.faults.plan import FaultPlan
 from repro.obs.probe import NULL_PROBE, Probe
 from repro.obs.timing import PhaseTimings
 from repro.oracles.base import ORACLES, Oracle
@@ -76,6 +79,14 @@ class SimulationConfig:
         Timeout and maintenance tunables (:class:`ProtocolConfig`).
     churn:
         Membership dynamics, or ``None`` for a static population.
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` of adversarial regimes
+        (mass crashes, source/oracle outages, stale views, partitions),
+        or ``None`` for none.  Injections draw only from the dedicated
+        ``faults`` / ``faults-oracle`` RNG streams, so installing a
+        :class:`~repro.faults.plan.NullFaultPlan` is bit-identical to
+        ``None`` (pinned by the golden-seed guard in
+        ``tests/test_faults.py``).
     asynchrony:
         Heterogeneous interaction durations, or ``None`` for the
         synchronous model.
@@ -105,6 +116,7 @@ class SimulationConfig:
     oracle_realization: str = "omniscient"
     protocol: ProtocolConfig = dataclasses.field(default_factory=ProtocolConfig)
     churn: Optional[ChurnConfig] = None
+    faults: Optional[FaultPlan] = None
     asynchrony: Optional[AsynchronyConfig] = None
     max_rounds: int = 3000
     seed: int = 0
@@ -128,6 +140,10 @@ class SimulationConfig:
             )
         if self.max_rounds < 1:
             raise ConfigurationError("max_rounds must be >= 1")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
 
     def with_(self, **changes) -> "SimulationConfig":
         """A copy with the given fields replaced (sweep convenience)."""
@@ -165,6 +181,19 @@ class SimulationResult:
     rejoins: int
     phase_timings: Dict[str, Dict[str, float]] = dataclasses.field(
         default_factory=dict, compare=False, repr=False
+    )
+    #: Fraction of satisfied node-rounds over the whole run (1.0 when
+    #: every consumer was satisfied every measured round).
+    availability: float = 1.0
+    #: Worst rounds-to-reconverge over all injected faults; ``None`` when
+    #: no fault fired or some fault was never recovered from in-budget.
+    time_to_recover: Optional[int] = None
+    #: Number of fault injections the plan fired.
+    fault_events: int = 0
+    #: Rounds-to-reconverge per fault event, in injection order
+    #: (``None`` entries mark faults never recovered from).
+    recovery_series: List[Optional[int]] = dataclasses.field(
+        default_factory=list
     )
 
 
@@ -208,10 +237,36 @@ class Simulation:
                 self.overlay,
                 self.streams.get("oracle"),
             )
+        self.metrics = MetricsCollector(self.overlay)
+        # Fault plan: the injector applies the specs from its own RNG
+        # stream, and the oracle is decorated so outage / stale-view /
+        # partition windows degrade its answers.  With no plan there is
+        # no injector and no wrapper — and with a NullFaultPlan neither
+        # ever draws, so both setups are bit-identical to each other.
+        self.injector: Optional[FaultInjector] = None
+        if config.faults is not None:
+            self.injector = FaultInjector(
+                self.overlay,
+                config.faults,
+                self.streams.get("faults"),
+                on_fault=self.metrics.note_fault,
+            )
+            self.oracle = FaultGatedOracle(
+                self.oracle,
+                self.overlay,
+                self.injector.state,
+                self.streams.get("faults-oracle"),
+                history=config.faults.max_staleness(),
+            )
         algorithm_cls = ALGORITHMS[config.algorithm]
         self.algorithm: ConstructionAlgorithm = algorithm_cls(
             self.overlay, self.oracle, config.protocol
         )
+        # Post-construction wiring (keeps the 3-argument construction
+        # idiom working for every registered algorithm variant).
+        if self.injector is not None:
+            self.algorithm.faults = self.injector.state
+        self.algorithm.backoff_rng = self.streams.get("backoff")
         self.churn = (
             ChurnProcess(self.overlay, config.churn, self.streams.get("churn"))
             if config.churn is not None
@@ -222,7 +277,6 @@ class Simulation:
             if config.asynchrony is not None
             else None
         )
-        self.metrics = MetricsCollector(self.overlay)
         self.trace = OverlayTrace(self.overlay) if config.record_trace else None
         self.now = 0
         self._order_rng = self.streams.get("order")
@@ -233,7 +287,8 @@ class Simulation:
         """Advance the simulation by one round.
 
         Each round decomposes into the phases ``churn`` / ``oracle`` /
-        ``step`` / ``maintain`` / ``measure``, wall-clock-timed into
+        ``faults`` (only with a plan installed) / ``step`` /
+        ``maintain`` / ``measure``, wall-clock-timed into
         :attr:`timings`; the installed probe sees every protocol event
         in between.  Neither timing nor probing consumes RNG.
         """
@@ -249,11 +304,20 @@ class Simulation:
             self.oracle.on_round(self.now)
         nodes = self.overlay.online_consumers
         self._order_rng.shuffle(nodes)
+        # Faults fire *after* the roster shuffle, so crash victims can sit
+        # anywhere in this round's schedule — the liveness guard below is
+        # what keeps them from acting posthumously.
+        if self.injector is not None:
+            with self.timings.measure("faults"):
+                self.injector.inject(self.now)
         timings_add = self.timings.add
         perf_counter = time.perf_counter
         for node in nodes:
             if not node.online:
-                continue  # went offline mid-round? (defensive; churn is pre-round)
+                # Load-bearing: a node crashed by the fault plan after the
+                # shuffle is still on the roster and must not act this
+                # round (pinned by tests/test_faults.py).
+                continue
             if node.parent is not None:
                 t0 = perf_counter()
                 self.algorithm.maintain(node)
@@ -309,6 +373,10 @@ class Simulation:
             departures=self.churn.total_departures if self.churn else 0,
             rejoins=self.churn.total_rejoins if self.churn else 0,
             phase_timings=self.timings.summary(),
+            availability=self.metrics.availability(),
+            time_to_recover=self.metrics.time_to_recover(),
+            fault_events=self.injector.injected if self.injector else 0,
+            recovery_series=self.metrics.recovery_series(),
         )
 
 

@@ -1,0 +1,96 @@
+"""Regression tests for :class:`repro.sim.churn.ChurnProcess`.
+
+The broader churn behavior (stationary fraction, orphaning, rejoin
+state) is covered in ``tests/test_sim.py``; this module pins one
+structural property: ``ChurnProcess.step`` iterates over an explicit
+snapshot of the roster, so the ``go_offline``/``go_online`` mutations it
+performs mid-loop can never skip or double-visit a peer — even if
+``Overlay.consumers`` someday returns a live view instead of a copy.
+"""
+
+import random
+
+import pytest
+
+from repro.core.tree import Overlay
+from repro.sim.churn import ChurnConfig, ChurnProcess
+
+from tests.conftest import spec
+
+
+class _CountingRandom(random.Random):
+    """Random that counts how many membership draws were made."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.draws = 0
+
+    def random(self):
+        self.draws += 1
+        return super().random()
+
+
+def _overlay(n):
+    overlay = Overlay(source_fanout=3)
+    for i in range(n):
+        overlay.add_consumer(spec(3, 2), f"n{i}")
+    return overlay
+
+
+class TestChurnSnapshot:
+    def test_every_peer_is_visited_exactly_once(self):
+        """One membership draw per consumer per step — no more, no less.
+
+        With leave probability 1.0 and rejoin probability 1.0 every
+        visited peer flips state, which is the worst case for a loop
+        that iterates a live roster while mutating it: any skip or
+        double-visit would show up either in the draw count or as a peer
+        that flipped twice (ending where it started).
+        """
+        overlay = _overlay(40)
+        for node in list(overlay.consumers)[:13]:
+            overlay.go_offline(node)
+        online_before = {n.node_id for n in overlay.consumers if n.online}
+        rng = _CountingRandom(7)
+        process = ChurnProcess(
+            overlay,
+            ChurnConfig(leave_probability=1.0, rejoin_probability=1.0),
+            rng,
+        )
+        events = process.step(0)
+        assert rng.draws == 40
+        left = {n.node_id for n in events.left}
+        rejoined = {n.node_id for n in events.rejoined}
+        assert left == online_before
+        assert rejoined == {n.node_id for n in overlay.consumers} - online_before
+        assert not (left & rejoined)  # nobody flipped twice in one step
+        # And the overlay agrees: everyone ended in the opposite state.
+        for node in overlay.consumers:
+            assert node.online == (node.node_id in rejoined)
+
+    def test_snapshot_is_independent_of_roster_mutation(self):
+        """Peers taken offline mid-step by the loop itself stay visited
+        from the snapshot, not re-observed in their new state."""
+        overlay = _overlay(10)
+        rng = _CountingRandom(3)
+        process = ChurnProcess(
+            overlay,
+            ChurnConfig(leave_probability=1.0, rejoin_probability=0.0),
+            rng,
+        )
+        events = process.step(0)
+        # All 10 left; had the loop re-observed freshly-offline peers it
+        # would have drawn rejoin probabilities for them as well.
+        assert rng.draws == 10
+        assert len(events.left) == 10
+        assert process.total_departures == 10
+
+    def test_start_round_gate_draws_nothing(self):
+        overlay = _overlay(5)
+        rng = _CountingRandom(3)
+        process = ChurnProcess(
+            overlay, ChurnConfig(start_round=10), rng
+        )
+        events = process.step(9)
+        assert rng.draws == 0
+        assert not events.left and not events.rejoined

@@ -15,11 +15,14 @@ from repro.core.errors import ConfigurationError
 from repro.obs import (
     AttachAccept,
     AttachReject,
+    Backoff,
     ChurnLeave,
     ChurnRejoin,
     Detach,
     EVENT_TYPES,
+    FaultInjected,
     MaintenanceTrigger,
+    MessageDrop,
     MessageSend,
     MetricsRegistry,
     NULL_PROBE,
@@ -27,15 +30,20 @@ from repro.obs import (
     OracleMiss,
     OracleQuery,
     RecordingProbe,
+    Recovery,
     Referral,
+    SourceContact,
+    StaleReferral,
     Timeout,
     event_from_dict,
     read_trace,
     write_trace,
 )
 from repro.obs.counters import Histogram
-from repro.obs.export import event_count_rows, phase_timing_rows
+from repro.obs.export import counter_rows, event_count_rows, phase_timing_rows
 from repro.obs.timing import PhaseTimings
+from repro.network.latency import ConstantLatency
+from repro.network.transport import Network
 from repro.sim.churn import ChurnConfig
 from repro.sim.engine import EventScheduler
 from repro.sim.runner import Simulation, SimulationConfig, run_simulation
@@ -53,6 +61,12 @@ SAMPLE_EVENTS = [
     ChurnLeave(round=5, node=2, orphans=1),
     ChurnRejoin(round=6, node=2),
     MessageSend(round=6, sender=1, recipient=2, message_kind="pull"),
+    MessageDrop(round=6, sender=1, recipient=2, message_kind="pull", reason="loss"),
+    SourceContact(round=7, node=4, outcome="attach"),
+    StaleReferral(round=7, node=4, target=2, reason="offline"),
+    Backoff(round=7, node=4, failures=2, delay=18),
+    FaultInjected(round=8, fault="mass-crash", affected=24),
+    Recovery(round=9, fault_round=8, rounds=1),
 ]
 
 
@@ -172,6 +186,57 @@ class TestTraceExport:
         rows = {row[0]: row for row in phase_timing_rows(trace)}
         assert rows["step"][3] == pytest.approx(0.75)
         assert rows["churn"][3] == pytest.approx(0.25)
+
+
+class TestNetworkDropCounters:
+    """Satellite: drop statistics flow into the obs counter registry."""
+
+    class _Sink:
+        def handle_message(self, message):
+            pass
+
+    def test_drops_mirrored_into_registry(self):
+        import random
+
+        probe = RecordingProbe()
+        scheduler = EventScheduler()
+        network = Network(
+            scheduler,
+            ConstantLatency(1.0),
+            loss_probability=0.4,
+            rng=random.Random(4),
+            probe=probe,
+        )
+        network.register("a", self._Sink())
+        for _ in range(40):
+            network.send("a", "a", "pull", None)  # subject to loss only
+            network.send("a", "ghost", "pull", None)  # unroutable if sent
+        scheduler.run()
+        assert network.dropped_loss > 0 and network.dropped_unroutable > 0
+        registry = probe.registry
+        assert (
+            registry.counter("network.dropped_loss").value
+            == network.dropped_loss
+        )
+        assert (
+            registry.counter("network.dropped_unroutable").value
+            == network.dropped_unroutable
+        )
+        drops = probe.events_of("message-drop")
+        assert len(drops) == network.dropped_loss + network.dropped_unroutable
+        assert {e.reason for e in drops} == {"loss", "unroutable"}
+
+    def test_counter_rows_surface_subsystem_counters(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        registry = MetricsRegistry()
+        registry.counter("network.dropped_loss").inc(3)
+        registry.counter("faults.mass-crash").inc(1)
+        registry.counter("events.timeout").inc(2)  # already in event table
+        write_trace(path, [], registry=registry)
+        rows = counter_rows(read_trace(path))
+        assert ["faults.mass-crash", 1] in rows
+        assert ["network.dropped_loss", 3] in rows
+        assert all(not name.startswith("events.") for name, _ in rows)
 
 
 class TestRecordingProbe:
@@ -364,6 +429,35 @@ class TestCliObservability:
         assert "attach-accept" in out
         assert "phase" in out and "seconds" in out
         assert "oracle.response_size" in out
+
+    def test_fault_counters_surface_in_summarize(self, tmp_path, capsys):
+        path = str(tmp_path / "chaos.jsonl")
+        code = main(
+            [
+                "build",
+                "--workload",
+                "Rand",
+                "--size",
+                "25",
+                "--seed",
+                "3",
+                "--max-rounds",
+                "250",
+                "--faults",
+                "crash@40:0.2,source-outage@60:5",
+                "--trace-out",
+                path,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault events" in out
+        code = main(["obs", "summarize", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault-injected" in out
+        assert "faults.mass-crash" in out
+        assert "source.contact_" in out
 
     def test_summarize_requires_subcommand(self):
         with pytest.raises(SystemExit):
