@@ -22,6 +22,10 @@ Two harnesses in one file:
     contention window: backoff must strictly reduce the load on the
     source while initial convergence must not regress.
 
+The two A/B arms are independent seeded runs, so ``--workers 2`` fans
+them out through :mod:`repro.par` (every A/B statistic is a
+deterministic event count, so parallel arms report identical numbers).
+
 Results are written as JSON (default ``BENCH_chaos_soak.json``).
 
 Usage::
@@ -49,6 +53,7 @@ from repro.faults import (  # noqa: E402
     StaleOracleView,
 )
 from repro.obs import RecordingProbe  # noqa: E402
+from repro.par import Task, make_executor  # noqa: E402
 from repro.sim.runner import Simulation, SimulationConfig  # noqa: E402
 from repro.workloads.random_workload import rand_workload  # noqa: E402
 
@@ -197,6 +202,13 @@ def main(argv=None) -> int:
         "source contacts",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan the two A/B arms out through a repro.par process pool "
+        "(0 = serial)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_chaos_soak.json", help="JSON results path"
     )
     parser.add_argument(
@@ -245,7 +257,7 @@ def main(argv=None) -> int:
         f"into a source outage, {args.window}-round contention window",
         flush=True,
     )
-    baseline = run_burst(
+    burst_args = (
         args.population,
         args.seed,
         args.algorithm,
@@ -253,18 +265,18 @@ def main(argv=None) -> int:
         burst_crash,
         10,
         args.window,
-        backoff=False,
     )
-    hardened = run_burst(
-        args.population,
-        args.seed,
-        args.algorithm,
-        args.oracle,
-        burst_crash,
-        10,
-        args.window,
-        backoff=True,
+    arms = make_executor(args.workers).run_tasks(
+        [
+            Task(run_burst, burst_args + (False,), label="baseline"),
+            Task(run_burst, burst_args + (True,), label="backoff"),
+        ]
     )
+    for arm in arms:
+        if not arm.ok:
+            print(f"FATAL: A/B arm failed: {arm.error}", file=sys.stderr)
+            return 1
+    baseline, hardened = arms[0].value, arms[1].value
     for label, run in (("baseline", baseline), ("backoff", hardened)):
         print(
             f"  {label:8s}: {run['contacts_in_window']:5d} source contacts "

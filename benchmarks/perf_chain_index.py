@@ -15,6 +15,13 @@ shared forest scan per round and only swaps the reads, so the true
 pre-refactor cost (three walks per node in ``measure()`` alone) was
 higher than what "walk" measures here.
 
+``--workers 2`` dispatches the two modes as :mod:`repro.par` tasks in
+separate worker processes (the walk patch is applied inside the worker,
+so it never leaks into the indexed run).  The serial default is right
+for timing: two CPU-bound modes racing on shared cores distort each
+other's rounds/sec, so only use workers when you have idle cores and
+care about wall-clock, not the numbers.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_chain_index.py
@@ -34,6 +41,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.tree import Overlay  # noqa: E402
+from repro.par import Task, make_executor  # noqa: E402
 from repro.sim.churn import ChurnConfig  # noqa: E402
 from repro.sim.runner import Simulation, SimulationConfig  # noqa: E402
 from repro.workloads.random_workload import rand_workload  # noqa: E402
@@ -83,6 +91,14 @@ def run_rounds(
     }
 
 
+def run_rounds_walked(
+    population: int, rounds: int, seed: int, algorithm: str, oracle: str
+) -> dict:
+    """:func:`run_rounds` with the walk patch applied inside the worker."""
+    with walk_on_read():
+        return run_rounds(population, rounds, seed, algorithm, oracle)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--population", type=int, default=2000)
@@ -96,6 +112,14 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--algorithm", default="hybrid")
     parser.add_argument("--oracle", default="random-delay")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run the indexed and walked modes as parallel repro.par "
+        "tasks (0 = serial; parallel timings are only meaningful with "
+        "idle cores)",
+    )
     parser.add_argument(
         "--output", default="BENCH_chain_index.json", help="JSON results path"
     )
@@ -118,20 +142,37 @@ def main(argv=None) -> int:
         f"{args.algorithm} x {args.oracle}, churn on",
         flush=True,
     )
-    indexed = run_rounds(
+    mode_args = (
         args.population, args.rounds, args.seed, args.algorithm, args.oracle
     )
-    print(
-        f"  indexed: {indexed['rounds_per_sec']:8.2f} rounds/sec "
-        f"({indexed['seconds']:.2f}s)",
-        flush=True,
-    )
     walked = None
-    if not args.skip_walk:
-        with walk_on_read():
-            walked = run_rounds(
-                args.population, args.rounds, args.seed, args.algorithm, args.oracle
-            )
+    if args.workers > 1 and not args.skip_walk:
+        modes = make_executor(args.workers).run_tasks(
+            [
+                Task(run_rounds, mode_args, label="indexed"),
+                Task(run_rounds_walked, mode_args, label="walked"),
+            ]
+        )
+        for mode in modes:
+            if not mode.ok:
+                print(f"FATAL: mode failed: {mode.error}", file=sys.stderr)
+                return 1
+        indexed, walked = modes[0].value, modes[1].value
+        print(
+            f"  indexed: {indexed['rounds_per_sec']:8.2f} rounds/sec "
+            f"({indexed['seconds']:.2f}s)",
+            flush=True,
+        )
+    else:
+        indexed = run_rounds(*mode_args)
+        print(
+            f"  indexed: {indexed['rounds_per_sec']:8.2f} rounds/sec "
+            f"({indexed['seconds']:.2f}s)",
+            flush=True,
+        )
+        if not args.skip_walk:
+            walked = run_rounds_walked(*mode_args)
+    if walked is not None:
         print(
             f"  walked:  {walked['rounds_per_sec']:8.2f} rounds/sec "
             f"({walked['seconds']:.2f}s)",
@@ -153,6 +194,7 @@ def main(argv=None) -> int:
         "oracle": args.oracle,
         "churn": True,
         "quick": args.quick,
+        "workers": args.workers,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "indexed": indexed,

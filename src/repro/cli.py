@@ -1,11 +1,18 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Five commands cover the common workflows:
+Six commands cover the common workflows:
 
 ``build``
     Run one construction and report the outcome (optionally render the
     tree, run a feed-delivery check, or export a JSONL protocol trace
     with ``--trace-out``).
+``sweep``
+    A multi-seed (family × oracle) sweep with the repeat-median
+    protocol, optionally fanned out to worker processes
+    (``--workers N``; results are bit-identical to serial — see
+    docs/PARALLEL.md), with per-seed JSONL traces (``--trace-dir``),
+    fault plans (``--faults``) and a merged observability counter
+    registry (``--obs``).
 ``workload``
     Describe a workload family instance: constraint histograms and
     whether the §3.3 sufficiency condition holds.
@@ -21,6 +28,8 @@ Examples::
 
     python -m repro.cli build --workload BiCorr --algorithm hybrid --render
     python -m repro.cli build --workload Rand --trace-out run.jsonl
+    python -m repro.cli sweep --families paper --oracles all --workers 4
+    python -m repro.cli sweep --families Rand --repeats 10 --faults 'crash@60:0.2'
     python -m repro.cli obs summarize run.jsonl
     python -m repro.cli workload --workload Tf1 --size 120
     python -m repro.cli feasibility --source-fanout 1 "1_1^1 2_1^2 3_2^5 4_1^4 5_0^4"
@@ -116,6 +125,63 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record every protocol event and write a JSONL trace "
         "(summarize it with 'repro obs summarize PATH')",
+    )
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="multi-seed (family x oracle) sweep, optionally parallel",
+    )
+    sweep.add_argument(
+        "--families",
+        default="Rand",
+        help="comma-separated family names, or 'paper' (the four §4.1 "
+        "families) or 'all'",
+    )
+    sweep.add_argument(
+        "--oracles",
+        default="random-delay",
+        help="comma-separated oracle names, or 'all'",
+    )
+    sweep.add_argument(
+        "--algorithm", default="greedy", choices=sorted(ALGORITHMS)
+    )
+    sweep.add_argument("--size", type=int, default=120)
+    sweep.add_argument("--repeats", type=int, default=5)
+    sweep.add_argument("--base-seed", type=int, default=0)
+    sweep.add_argument("--max-rounds", type=int, default=6000)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size; 0 or 1 runs serial (results are "
+        "bit-identical either way)",
+    )
+    sweep.add_argument(
+        "--fixed-workload",
+        action="store_true",
+        help="replay one workload draw per cell across all seeds "
+        "(Fig. 2's protocol) instead of varying the draw with the seed",
+    )
+    sweep.add_argument(
+        "--churn", action="store_true", help="enable the paper's churn model"
+    )
+    sweep.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject a fault plan into every run (same DSL as build)",
+    )
+    sweep.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write one JSONL protocol trace per seed into DIR",
+    )
+    sweep.add_argument(
+        "--obs",
+        action="store_true",
+        help="collect per-run observability and print the merged "
+        "counter registry",
     )
 
     workload = commands.add_parser("workload", help="describe a workload")
@@ -254,6 +320,100 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0 if result.converged else 1
 
 
+def _parse_sweep_families(text: str) -> List[str]:
+    if text == "paper":
+        from repro.workloads import PAPER_FAMILIES
+
+        return list(PAPER_FAMILIES)
+    if text == "all":
+        return family_names()
+    return [chunk.strip() for chunk in text.split(",") if chunk.strip()]
+
+
+def _parse_sweep_oracles(text: str) -> List[str]:
+    if text == "all":
+        return list(oracle_names())
+    return [chunk.strip() for chunk in text.split(",") if chunk.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.par import (
+        make_executor,
+        median_of_outcomes,
+        merge_outcome_counters,
+        repeat_items,
+    )
+
+    families = _parse_sweep_families(args.families)
+    oracles = _parse_sweep_oracles(args.oracles)
+    faults = None
+    if args.faults:
+        from repro.faults import parse_fault_plan
+
+        faults = parse_fault_plan(args.faults)
+    keys = [(family, oracle) for family in families for oracle in oracles]
+    items = []
+    for family, oracle in keys:
+        config = SimulationConfig(
+            algorithm=args.algorithm,
+            oracle=oracle,
+            max_rounds=args.max_rounds,
+            churn=ChurnConfig() if args.churn else None,
+            faults=faults,
+            # As in build: fault runs study recovery, so keep running
+            # past convergence (otherwise the plan would never fire).
+            stop_at_convergence=faults is None,
+        )
+        items.extend(
+            repeat_items(
+                family,
+                config,
+                args.size,
+                args.repeats,
+                base_seed=args.base_seed,
+                vary_workload=not args.fixed_workload,
+            )
+        )
+    executor = make_executor(args.workers)
+    print(
+        f"sweep: {len(families)} families x {len(oracles)} oracles x "
+        f"{args.repeats} seeds = {len(items)} runs "
+        f"({executor.name}, {executor.workers} worker"
+        f"{'s' if executor.workers != 1 else ''})"
+    )
+    outcomes = executor.run(
+        items, collect_obs=args.obs, trace_dir=args.trace_dir
+    )
+    grid = {}
+    for index, key in enumerate(keys):
+        chunk = outcomes[index * args.repeats : (index + 1) * args.repeats]
+        grid[key] = median_of_outcomes(chunk)
+    print(
+        ascii_table(
+            ["workload"] + oracles,
+            [
+                [family] + [grid[(family, oracle)].render() for oracle in oracles]
+                for family in families
+            ],
+        )
+    )
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    for outcome in failures:
+        print(f"FAILED: {outcome.error}", file=sys.stderr)
+    if args.trace_dir:
+        written = sum(1 for o in outcomes if o.trace_path is not None)
+        print(f"\nwrote {written} per-seed traces to {args.trace_dir}")
+    if args.obs:
+        merged = merge_outcome_counters(outcomes).snapshot()
+        print()
+        print(
+            ascii_table(
+                ["counter", "value"], sorted(merged["counters"].items())
+            )
+        )
+    return 1 if failures else 0
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     workload = make_workload(args.workload, size=args.size, seed=args.seed)
     print(workload.describe())
@@ -364,6 +524,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "build":
         return _cmd_build(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "workload":
         return _cmd_workload(args)
     if args.command == "feasibility":

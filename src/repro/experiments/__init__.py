@@ -4,16 +4,22 @@ Each module exposes ``run(...)`` returning plain data and a ``main()``
 that prints the table; ``python -m repro.experiments.<name>`` runs full
 scale.  The pytest-benchmark harness in ``benchmarks/`` runs the same
 code at the QUICK profile and asserts the qualitative shapes.
+
+Every ``run(...)`` (and the shared :func:`run_repeats`) accepts an
+``executor=`` from :mod:`repro.par`; the default is the serial
+reference, and a process-pool executor produces bit-identical grids in
+a fraction of the wall-clock (docs/PARALLEL.md).
 """
 
 from repro.experiments.config import FIG2_REPEATS, PAPER, QUICK, ExperimentProfile
-from repro.experiments.runner import run_repeats, run_single
+from repro.experiments.runner import resolve_executor, run_repeats, run_single
 
 __all__ = [
     "FIG2_REPEATS",
     "PAPER",
     "QUICK",
     "ExperimentProfile",
+    "resolve_executor",
     "run_repeats",
     "run_single",
 ]

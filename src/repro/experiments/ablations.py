@@ -33,10 +33,11 @@ from repro.core.hybrid import HybridConstruction
 from repro.core.maintenance import eager_maintenance
 from repro.core.protocol import ProtocolConfig
 from repro.experiments.config import PAPER, ExperimentProfile
-from repro.experiments.runner import run_repeats
+from repro.experiments.runner import resolve_executor
+from repro.par.executor import SweepExecutor
+from repro.par.items import median_of_outcomes, repeat_items
 from repro.sim.churn import ChurnConfig
-from repro.sim.runner import SimulationConfig, register_algorithm, run_simulation
-from repro.workloads import make as make_workload
+from repro.sim.runner import SimulationConfig, register_algorithm
 
 
 # ----------------------------------------------------------------------
@@ -77,24 +78,31 @@ MAINTENANCE_HEADERS = [
 
 
 def maintenance_comparison(
-    profile: ExperimentProfile = PAPER, family: str = "BiCorr"
+    profile: ExperimentProfile = PAPER,
+    family: str = "BiCorr",
+    executor: Optional[SweepExecutor] = None,
 ) -> List[List[object]]:
     """Lazy (paper) vs knee-jerk (strawman) maintenance, both algorithms."""
-    rows: List[List[object]] = []
-    for algorithm in ("greedy", "greedy-eager", "hybrid", "hybrid-eager"):
-        latencies: List[Optional[int]] = []
-        detaches: List[int] = []
-        for seed in profile.seeds():
-            workload = make_workload(family, size=profile.population, seed=seed)
-            result = run_simulation(
-                workload,
+    variants = ("greedy", "greedy-eager", "hybrid", "hybrid-eager")
+    work = []
+    for algorithm in variants:
+        work.extend(
+            repeat_items(
+                family,
                 SimulationConfig(
-                    algorithm=algorithm, seed=seed, max_rounds=profile.max_rounds
+                    algorithm=algorithm, max_rounds=profile.max_rounds
                 ),
+                profile.population,
+                profile.repeats,
+                base_seed=profile.base_seed,
             )
-            latencies.append(result.construction_rounds)
-            detaches.append(result.detaches)
-        runs = MedianOfRuns(latencies)
+        )
+    outcomes = resolve_executor(executor).run(work)
+    rows: List[List[object]] = []
+    for index, algorithm in enumerate(variants):
+        chunk = outcomes[index * profile.repeats : (index + 1) * profile.repeats]
+        runs = MedianOfRuns([o.construction_rounds for o in chunk])
+        detaches = [o.result.detaches for o in chunk if o.ok]
         rows.append(
             [
                 algorithm,
@@ -117,28 +125,42 @@ def timeout_sweep(
     profile: ExperimentProfile = PAPER,
     family: str = "BiCorr",
     timeouts: Sequence[int] = (1, 2, 4, 8, 16),
+    executor: Optional[SweepExecutor] = None,
 ) -> List[List[object]]:
-    rows: List[List[object]] = []
-    for timeout in timeouts:
-        cells: Dict[str, MedianOfRuns] = {}
-        for algorithm in ("greedy", "hybrid"):
-            cells[algorithm] = run_repeats(
+    keys = [
+        (timeout, algorithm)
+        for timeout in timeouts
+        for algorithm in ("greedy", "hybrid")
+    ]
+    work = []
+    for timeout, algorithm in keys:
+        work.extend(
+            repeat_items(
                 family,
                 SimulationConfig(
                     algorithm=algorithm,
                     protocol=ProtocolConfig(timeout=timeout),
                     max_rounds=profile.max_rounds,
                 ),
-                population=profile.population,
-                repeats=profile.repeats,
+                profile.population,
+                profile.repeats,
                 base_seed=profile.base_seed,
             )
+        )
+    outcomes = resolve_executor(executor).run(work)
+    cells: Dict[Tuple[int, str], MedianOfRuns] = {}
+    for index, key in enumerate(keys):
+        chunk = outcomes[index * profile.repeats : (index + 1) * profile.repeats]
+        cells[key] = median_of_outcomes(chunk)
+    rows: List[List[object]] = []
+    for timeout in timeouts:
+        greedy, hybrid = cells[(timeout, "greedy")], cells[(timeout, "hybrid")]
         rows.append(
             [
                 timeout,
-                cells["greedy"].median,
-                cells["hybrid"].median,
-                cells["greedy"].failures + cells["hybrid"].failures,
+                greedy.median,
+                hybrid.median,
+                greedy.failures + hybrid.failures,
             ]
         )
     return rows
@@ -162,29 +184,38 @@ def churn_sweep(
     leave_probabilities: Sequence[float] = (0.0025, 0.005, 0.01, 0.02, 0.04),
     rounds: int = 1200,
     warmup: int = 300,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[List[object]]:
-    rows: List[List[object]] = []
-    for leave in leave_probabilities:
-        churn = ChurnConfig(leave_probability=leave, rejoin_probability=0.2)
-        means: List[float] = []
-        dips: List[float] = []
-        for seed in profile.seeds():
-            workload = make_workload(family, size=profile.population, seed=seed)
-            result = run_simulation(
-                workload,
+    churns = [
+        ChurnConfig(leave_probability=leave, rejoin_probability=0.2)
+        for leave in leave_probabilities
+    ]
+    work = []
+    for churn in churns:
+        work.extend(
+            repeat_items(
+                family,
                 SimulationConfig(
                     algorithm="hybrid",
-                    seed=seed,
                     max_rounds=rounds,
                     churn=churn,
                     stop_at_convergence=False,
                 ),
+                profile.population,
+                profile.repeats,
+                base_seed=profile.base_seed,
             )
-            means.append(steady_state_mean(result.satisfied_series, warmup))
-            dips.append(worst_dip(result.satisfied_series, warmup))
+        )
+    outcomes = resolve_executor(executor).run(work)
+    rows: List[List[object]] = []
+    for index, churn in enumerate(churns):
+        chunk = outcomes[index * profile.repeats : (index + 1) * profile.repeats]
+        series = [o.result.satisfied_series for o in chunk if o.ok]
+        means = [steady_state_mean(s, warmup) for s in series]
+        dips = [worst_dip(s, warmup) for s in series]
         rows.append(
             [
-                leave,
+                churn.leave_probability,
                 round(churn.stationary_offline_fraction, 4),
                 round(statistics.median(means), 3),
                 round(statistics.median(dips), 3),
@@ -201,7 +232,9 @@ REALIZATION_HEADERS = ["realization", "oracle", "median rounds", "failures"]
 
 
 def oracle_realization_comparison(
-    profile: ExperimentProfile = PAPER, family: str = "Rand"
+    profile: ExperimentProfile = PAPER,
+    family: str = "Rand",
+    executor: Optional[SweepExecutor] = None,
 ) -> List[List[object]]:
     cases: List[Tuple[str, str]] = [
         ("omniscient", "random-delay"),
@@ -210,20 +243,27 @@ def oracle_realization_comparison(
         ("omniscient", "random"),
         ("random-walk", "random"),
     ]
-    rows: List[List[object]] = []
+    work = []
     for realization, oracle in cases:
-        runs = run_repeats(
-            family,
-            SimulationConfig(
-                algorithm="hybrid",
-                oracle=oracle,
-                oracle_realization=realization,
-                max_rounds=profile.max_rounds,
-            ),
-            population=profile.population,
-            repeats=profile.repeats,
-            base_seed=profile.base_seed,
+        work.extend(
+            repeat_items(
+                family,
+                SimulationConfig(
+                    algorithm="hybrid",
+                    oracle=oracle,
+                    oracle_realization=realization,
+                    max_rounds=profile.max_rounds,
+                ),
+                profile.population,
+                profile.repeats,
+                base_seed=profile.base_seed,
+            )
         )
+    outcomes = resolve_executor(executor).run(work)
+    rows: List[List[object]] = []
+    for index, (realization, oracle) in enumerate(cases):
+        chunk = outcomes[index * profile.repeats : (index + 1) * profile.repeats]
+        runs = median_of_outcomes(chunk)
         rows.append([realization, oracle, runs.median, runs.failures])
     return rows
 

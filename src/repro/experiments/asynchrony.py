@@ -13,12 +13,14 @@ Run full scale: ``python -m repro.experiments.asynchrony``
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import ascii_table, banner
 from repro.analysis.stats import MedianOfRuns
 from repro.experiments.config import PAPER, ExperimentProfile
-from repro.experiments.runner import run_repeats
+from repro.experiments.runner import resolve_executor
+from repro.par.executor import SweepExecutor
+from repro.par.items import median_of_outcomes, repeat_items
 from repro.sim.asynchrony import AsynchronyConfig
 from repro.sim.runner import SimulationConfig
 
@@ -30,15 +32,18 @@ ALGORITHMS = ("greedy", "hybrid")
 
 
 def run(
-    profile: ExperimentProfile = PAPER, family: str = FAMILY
+    profile: ExperimentProfile = PAPER,
+    family: str = FAMILY,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[GridKey, MedianOfRuns]:
-    grid: Dict[GridKey, MedianOfRuns] = {}
-    for algorithm in ALGORITHMS:
-        for regime in REGIMES:
-            asynchrony = (
-                AsynchronyConfig(1, 4) if regime != "sync" else None
-            )
-            grid[(algorithm, regime)] = run_repeats(
+    keys = [
+        (algorithm, regime) for algorithm in ALGORITHMS for regime in REGIMES
+    ]
+    work = []
+    for algorithm, regime in keys:
+        asynchrony = AsynchronyConfig(1, 4) if regime != "sync" else None
+        work.extend(
+            repeat_items(
                 family,
                 SimulationConfig(
                     algorithm=algorithm,
@@ -46,10 +51,16 @@ def run(
                     max_rounds=profile.max_rounds,
                     asynchrony=asynchrony,
                 ),
-                population=profile.population,
-                repeats=profile.repeats,
+                profile.population,
+                profile.repeats,
                 base_seed=profile.base_seed,
             )
+        )
+    outcomes = resolve_executor(executor).run(work)
+    grid: Dict[GridKey, MedianOfRuns] = {}
+    for index, key in enumerate(keys):
+        chunk = outcomes[index * profile.repeats : (index + 1) * profile.repeats]
+        grid[key] = median_of_outcomes(chunk)
     return grid
 
 

@@ -16,13 +16,16 @@ Run full scale: ``python -m repro.experiments.figure2``
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import ascii_table, banner
 from repro.analysis.stats import Summary, summarize
 from repro.experiments.config import FIG2_REPEATS, PAPER, ExperimentProfile
-from repro.sim.runner import SimulationConfig, run_simulation
-from repro.workloads import PAPER_FAMILIES, make as make_workload
+from repro.experiments.runner import resolve_executor
+from repro.par.executor import SweepExecutor
+from repro.par.items import repeat_items
+from repro.sim.runner import SimulationConfig
+from repro.workloads import PAPER_FAMILIES
 
 #: The Fig. 2 setting.
 ALGORITHM = "greedy"
@@ -33,26 +36,40 @@ def run(
     profile: ExperimentProfile = PAPER,
     repeats: int = FIG2_REPEATS,
     families: Sequence[str] = PAPER_FAMILIES,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, Summary]:
-    """Per-family spread of construction latency over ``repeats`` seeds."""
-    summaries: Dict[str, Summary] = {}
+    """Per-family spread of construction latency over ``repeats`` seeds.
+
+    Every family replays one fixed workload draw (``vary_workload=False``
+    — built once per family, the fixed-draw protocol) so the only
+    randomness is the protocol's own; all families' seeds are submitted
+    as one flat sweep.
+    """
+    work = []
     for family in families:
-        workload = make_workload(
-            family, size=profile.population, seed=profile.base_seed
-        )
-        latencies: List[float] = []
-        for offset in range(repeats):
-            result = run_simulation(
-                workload,
+        work.extend(
+            repeat_items(
+                family,
                 SimulationConfig(
                     algorithm=ALGORITHM,
                     oracle=ORACLE,
-                    seed=profile.base_seed + offset,
                     max_rounds=profile.max_rounds,
                 ),
+                profile.population,
+                repeats,
+                base_seed=profile.base_seed,
+                vary_workload=False,
             )
-            if result.construction_rounds is not None:
-                latencies.append(float(result.construction_rounds))
+        )
+    outcomes = resolve_executor(executor).run(work)
+    summaries: Dict[str, Summary] = {}
+    for index, family in enumerate(families):
+        chunk = outcomes[index * repeats : (index + 1) * repeats]
+        latencies: List[float] = [
+            float(outcome.result.construction_rounds)
+            for outcome in chunk
+            if outcome.ok and outcome.result.construction_rounds is not None
+        ]
         summaries[family] = summarize(latencies)
     return summaries
 

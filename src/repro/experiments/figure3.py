@@ -17,17 +17,45 @@ Run full scale: ``python -m repro.experiments.figure3``
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import ascii_table, banner
 from repro.analysis.stats import MedianOfRuns
 from repro.experiments.config import PAPER, ExperimentProfile
-from repro.experiments.runner import run_repeats
+from repro.experiments.runner import resolve_executor
 from repro.oracles.base import ORACLES, oracle_names
+from repro.par.executor import SweepExecutor
+from repro.par.items import SweepItem, median_of_outcomes, repeat_items
 from repro.sim.runner import SimulationConfig
 from repro.workloads import PAPER_FAMILIES
 
 GridKey = Tuple[str, str]  # (family, oracle)
+
+
+def items(
+    profile: ExperimentProfile = PAPER,
+    algorithm: str = "greedy",
+    families: Sequence[str] = PAPER_FAMILIES,
+    oracles: Sequence[str] = tuple(oracle_names()),
+) -> Tuple[List[GridKey], List[SweepItem]]:
+    """The grid's cell keys and flat work-item list, in grid order."""
+    keys = [(family, oracle) for family in families for oracle in oracles]
+    work: List[SweepItem] = []
+    for family, oracle in keys:
+        work.extend(
+            repeat_items(
+                family,
+                SimulationConfig(
+                    algorithm=algorithm,
+                    oracle=oracle,
+                    max_rounds=profile.max_rounds,
+                ),
+                profile.population,
+                profile.repeats,
+                base_seed=profile.base_seed,
+            )
+        )
+    return keys, work
 
 
 def run(
@@ -35,22 +63,20 @@ def run(
     algorithm: str = "greedy",
     families: Sequence[str] = PAPER_FAMILIES,
     oracles: Sequence[str] = tuple(oracle_names()),
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[GridKey, MedianOfRuns]:
-    """The full (family x oracle) grid of median construction latencies."""
+    """The full (family x oracle) grid of median construction latencies.
+
+    The whole grid is submitted as one flat sweep — with a pooled
+    executor every cell-repeat runs concurrently instead of cell by
+    cell — then folded back into per-cell medians in grid order.
+    """
+    keys, work = items(profile, algorithm, families, oracles)
+    outcomes = resolve_executor(executor).run(work)
     grid: Dict[GridKey, MedianOfRuns] = {}
-    for family in families:
-        for oracle in oracles:
-            grid[(family, oracle)] = run_repeats(
-                family,
-                SimulationConfig(
-                    algorithm=algorithm,
-                    oracle=oracle,
-                    max_rounds=profile.max_rounds,
-                ),
-                population=profile.population,
-                repeats=profile.repeats,
-                base_seed=profile.base_seed,
-            )
+    for index, key in enumerate(keys):
+        chunk = outcomes[index * profile.repeats : (index + 1) * profile.repeats]
+        grid[key] = median_of_outcomes(chunk)
     return grid
 
 

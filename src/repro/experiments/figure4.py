@@ -15,12 +15,14 @@ Run full scale: ``python -m repro.experiments.figure4``
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.reporting import ascii_table, banner
 from repro.analysis.stats import MedianOfRuns
 from repro.experiments.config import PAPER, ExperimentProfile
-from repro.experiments.runner import run_repeats
+from repro.experiments.runner import resolve_executor
+from repro.par.executor import SweepExecutor
+from repro.par.items import median_of_outcomes, repeat_items
 from repro.sim.churn import ChurnConfig
 from repro.sim.runner import SimulationConfig
 
@@ -36,24 +38,38 @@ def run(
     profile: ExperimentProfile = PAPER,
     family: str = FAMILY,
     churn: ChurnConfig = ChurnConfig(),
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[GridKey, MedianOfRuns]:
-    """Median construction latency for {greedy,hybrid} x {static,churn}."""
-    grid: Dict[GridKey, MedianOfRuns] = {}
-    for algorithm in ALGORITHMS:
-        for regime in REGIMES:
-            config = SimulationConfig(
-                algorithm=algorithm,
-                oracle=ORACLE,
-                max_rounds=profile.max_rounds,
-                churn=churn if regime == "churn" else None,
-            )
-            grid[(algorithm, regime)] = run_repeats(
+    """Median construction latency for {greedy,hybrid} x {static,churn}.
+
+    All four cells' repeats are submitted as one flat sweep (see
+    :mod:`repro.par`) and folded back into per-cell medians.
+    """
+    keys = [
+        (algorithm, regime) for algorithm in ALGORITHMS for regime in REGIMES
+    ]
+    work = []
+    for algorithm, regime in keys:
+        config = SimulationConfig(
+            algorithm=algorithm,
+            oracle=ORACLE,
+            max_rounds=profile.max_rounds,
+            churn=churn if regime == "churn" else None,
+        )
+        work.extend(
+            repeat_items(
                 family,
                 config,
-                population=profile.population,
-                repeats=profile.repeats,
+                profile.population,
+                profile.repeats,
                 base_seed=profile.base_seed,
             )
+        )
+    outcomes = resolve_executor(executor).run(work)
+    grid: Dict[GridKey, MedianOfRuns] = {}
+    for index, key in enumerate(keys):
+        chunk = outcomes[index * profile.repeats : (index + 1) * profile.repeats]
+        grid[key] = median_of_outcomes(chunk)
     return grid
 
 

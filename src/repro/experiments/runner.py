@@ -1,12 +1,26 @@
-"""Shared execution helpers for the figure experiments."""
+"""Shared execution helpers for the figure experiments.
+
+Both helpers accept an ``executor=`` (any :class:`repro.par.SweepExecutor`)
+and default to the serial reference backend; passing a
+:class:`repro.par.ProcessPoolSweepExecutor` fans the repeats out to
+worker processes with bit-identical results (the :mod:`repro.par`
+determinism contract, pinned by ``tests/test_par.py``).
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.analysis.stats import MedianOfRuns
-from repro.sim.runner import SimulationConfig, SimulationResult, run_simulation
-from repro.workloads import make as make_workload
+from repro.par.executor import SerialExecutor, SweepExecutor
+from repro.par.items import SweepItem, median_of_outcomes, repeat_items
+from repro.par.worker import execute_item
+from repro.sim.runner import SimulationConfig, SimulationResult
+
+
+def resolve_executor(executor: Optional[SweepExecutor]) -> SweepExecutor:
+    """``None`` means the serial reference backend."""
+    return executor if executor is not None else SerialExecutor()
 
 
 def run_repeats(
@@ -16,22 +30,28 @@ def run_repeats(
     repeats: int,
     base_seed: int = 0,
     vary_workload: bool = True,
+    executor: Optional[SweepExecutor] = None,
 ) -> MedianOfRuns:
     """Run ``repeats`` constructions and collect construction latencies.
 
     Each repeat uses its own root seed; with ``vary_workload`` the
     workload draw varies with the seed too (representing the *family*),
-    otherwise one fixed draw is replayed (isolating protocol randomness,
-    as in Fig. 2).
+    otherwise one fixed draw is built once and replayed every repeat
+    (isolating protocol randomness, as in Fig. 2).
+
+    A repeat whose run raises counts as a failed (non-converged) cell
+    entry rather than aborting the sweep — see
+    :func:`repro.par.items.median_of_outcomes`.
     """
-    values: List[Optional[int]] = []
-    for offset in range(repeats):
-        seed = base_seed + offset
-        workload_seed = seed if vary_workload else base_seed
-        workload = make_workload(family, size=population, seed=workload_seed)
-        result = run_simulation(workload, config.with_(seed=seed))
-        values.append(result.construction_rounds if result.converged else None)
-    return MedianOfRuns(values=values)
+    items = repeat_items(
+        family,
+        config,
+        population,
+        repeats,
+        base_seed=base_seed,
+        vary_workload=vary_workload,
+    )
+    return median_of_outcomes(resolve_executor(executor).run(items))
 
 
 def run_single(
@@ -39,7 +59,21 @@ def run_single(
     config: SimulationConfig,
     population: int,
     seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> SimulationResult:
-    """One construction run of a family (workload seed = run seed)."""
-    workload = make_workload(family, size=population, seed=seed)
-    return run_simulation(workload, config.with_(seed=seed))
+    """One construction run of a family (workload seed = run seed).
+
+    With the default serial executor this runs in-process; an executor
+    is accepted for symmetry so callers can route even single runs
+    through a pool (e.g. to isolate a crash-prone configuration).
+    """
+    item = SweepItem(
+        family=family, config=config, population=population, seed=seed
+    )
+    if executor is None:
+        outcome = execute_item(item)
+    else:
+        outcome = executor.run([item])[0]
+    if outcome.error is not None:
+        raise RuntimeError(outcome.error)
+    return outcome.result

@@ -119,6 +119,35 @@ class Histogram:
             "bucket_counts": list(self.bucket_counts),
         }
 
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`as_dict` form into this one.
+
+        Used to merge per-worker registries after a parallel sweep
+        (:mod:`repro.par.merge`); the bucket bounds must match exactly —
+        resampling between bucketings would silently distort quantiles.
+        """
+        bounds = tuple(data.get("bounds", ()))
+        if bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r} bounds mismatch: "
+                f"{bounds} vs {self.bounds}"
+            )
+        self.count += data["count"]
+        self.total += data["sum"]
+        for extreme in ("min", "max"):
+            value = data.get(extreme)
+            if value is None:
+                continue
+            current = getattr(self, extreme)
+            if (
+                current is None
+                or (extreme == "min" and value < current)
+                or (extreme == "max" and value > current)
+            ):
+                setattr(self, extreme, value)
+        for index, bucket_count in enumerate(data["bucket_counts"]):
+            self.bucket_counts[index] += bucket_count
+
 
 class MetricsRegistry:
     """Named counters, gauges and histograms for one run.
@@ -162,6 +191,25 @@ class MetricsRegistry:
     @property
     def histograms(self) -> Dict[str, Histogram]:
         return dict(self._histograms)
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dump into this registry.
+
+        The merge semantics match each instrument's nature: counters
+        *add*, gauges take the incoming value (last write wins, in merge
+        order), histograms combine count/sum/min/max and bucket counts.
+        This is how per-worker run summaries from a parallel sweep
+        (:mod:`repro.par`) collapse into one registry; merging the
+        per-run snapshots of N serial runs gives the identical result,
+        since every instrument's merge is order-insensitive except
+        gauges, which are merged in submission order.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            self.histogram(name, bounds=data.get("bounds")).merge_dict(data)
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready dump of every instrument, sorted by name."""

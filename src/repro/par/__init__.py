@@ -1,0 +1,61 @@
+"""``repro.par`` — the parallel seed-sweep execution engine.
+
+Every experiment in the reproduction is a repeat-K-take-median seed
+sweep; this package fans those embarrassingly parallel `(family,
+config, seed)` items out to a process pool while guaranteeing results
+**bit-identical to the serial path** — each worker rebuilds its
+workload and RNG streams from the item's seed exactly as
+``run_repeats`` always has, and outcomes merge in deterministic
+submission order.  See ``docs/PARALLEL.md`` for the executor model,
+the determinism contract, and the observability merge semantics.
+
+Quick use::
+
+    from repro.par import ProcessPoolSweepExecutor, repeat_items
+
+    items = repeat_items("BiCorr", SimulationConfig(), 120, repeats=20)
+    outcomes = ProcessPoolSweepExecutor(workers=4).run(items)
+
+or pass ``executor=`` to ``run_repeats`` / the ``figure*.run`` grids,
+or use ``repro sweep --workers N`` from the command line.
+"""
+
+from repro.par.executor import (
+    ProcessPoolSweepExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    make_executor,
+)
+from repro.par.items import (
+    MedianOfRuns,
+    SweepItem,
+    SweepOutcome,
+    Task,
+    TaskOutcome,
+    median_of_outcomes,
+    repeat_items,
+)
+from repro.par.merge import (
+    FAILED_RUNS_COUNTER,
+    MERGED_RUNS_COUNTER,
+    merge_outcome_counters,
+)
+from repro.par.worker import execute_item
+
+__all__ = [
+    "FAILED_RUNS_COUNTER",
+    "MERGED_RUNS_COUNTER",
+    "MedianOfRuns",
+    "ProcessPoolSweepExecutor",
+    "SerialExecutor",
+    "SweepExecutor",
+    "SweepItem",
+    "SweepOutcome",
+    "Task",
+    "TaskOutcome",
+    "execute_item",
+    "make_executor",
+    "median_of_outcomes",
+    "merge_outcome_counters",
+    "repeat_items",
+]

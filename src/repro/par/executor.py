@@ -1,0 +1,210 @@
+"""Sweep executors: serial reference and the process-pool backend.
+
+Both backends run the same :func:`repro.par.worker.execute_item` body
+and both return outcomes **in submission order** — merging is by the
+deterministic order work was submitted in, never by completion order —
+so for any item list ``SerialExecutor().run(items)`` and
+``ProcessPoolSweepExecutor(n).run(items)`` are field-for-field equal
+(``tests/test_par.py`` pins this for every paper oracle, with and
+without fault plans).
+
+Failure semantics:
+
+* an item whose *simulation* raises is captured worker-side into a
+  failed :class:`~repro.par.items.SweepOutcome` naming the item's
+  family/seed/config; the sweep continues and the cell is marked failed;
+* a worker *process* that dies outright (or a pool that breaks) is
+  surfaced the same way for every item whose future was lost;
+* an item that cannot be pickled at all fails **fast**: the pool
+  backend pre-flights every item before submitting any work and raises
+  :class:`~repro.core.errors.ConfigurationError` naming the poisoned
+  item, so a bad config never costs a full sweep.
+
+The pool prefers the ``fork`` start method where the platform offers it:
+forked workers inherit registered algorithm variants (e.g. the ablation
+strawmen) and workload families from the parent process.  On
+spawn-only platforms, variants registered at import time of the
+submitting module still resolve because items re-validate their configs
+worker-side.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.par.items import SweepItem, SweepOutcome, Task, TaskOutcome
+from repro.par.worker import execute_item
+
+
+def _failed_task(task: Task, error: BaseException) -> TaskOutcome:
+    return TaskOutcome(
+        label=task.describe(),
+        error=(
+            f"task failed ({task.describe()}): "
+            f"{type(error).__name__}: {error}"
+        ),
+        traceback=traceback.format_exc(),
+    )
+
+
+class SweepExecutor:
+    """The executor interface: ordered fan-out of items or tasks."""
+
+    #: Human-readable backend name for reports and benchmarks.
+    name = "abstract"
+    #: Degree of parallelism the backend provides.
+    workers = 1
+
+    def run(
+        self,
+        items: Sequence[SweepItem],
+        collect_obs: bool = False,
+        trace_dir: Optional[str] = None,
+    ) -> List[SweepOutcome]:
+        """Execute ``items``; outcomes in submission order."""
+        raise NotImplementedError
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
+        """Execute generic ``tasks``; outcomes in submission order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(SweepExecutor):
+    """The in-process reference backend (and the default everywhere).
+
+    Runs items one at a time in submission order with a fresh
+    per-sweep workload memo, which is what makes a fixed-draw
+    ``run_repeats`` build its workload exactly once.
+    """
+
+    name = "serial"
+    workers = 1
+
+    def run(
+        self,
+        items: Sequence[SweepItem],
+        collect_obs: bool = False,
+        trace_dir: Optional[str] = None,
+    ) -> List[SweepOutcome]:
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+        memo: dict = {}
+        return [
+            execute_item(item, position, collect_obs, trace_dir, memo)
+            for position, item in enumerate(items)
+        ]
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        for task in tasks:
+            try:
+                outcomes.append(
+                    TaskOutcome(label=task.describe(), value=task.call())
+                )
+            except Exception as error:  # noqa: BLE001 — sweep must continue
+                outcomes.append(_failed_task(task, error))
+        return outcomes
+
+
+class ProcessPoolSweepExecutor(SweepExecutor):
+    """Fan work out to a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    ``workers`` is the pool size; results are gathered strictly in
+    submission order.  Each worker process keeps its own workload memo.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @staticmethod
+    def _mp_context():
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return None
+
+    @staticmethod
+    def _preflight(units, describe) -> None:
+        """Fail fast — before any submission — on unpicklable work."""
+        for unit in units:
+            try:
+                pickle.dumps(unit)
+            except Exception as error:  # noqa: BLE001 — any pickle failure
+                raise ConfigurationError(
+                    f"cannot dispatch to worker processes: "
+                    f"({describe(unit)}) is not picklable: "
+                    f"{type(error).__name__}: {error}"
+                ) from error
+
+    def run(
+        self,
+        items: Sequence[SweepItem],
+        collect_obs: bool = False,
+        trace_dir: Optional[str] = None,
+    ) -> List[SweepOutcome]:
+        self._preflight(items, lambda item: f"sweep item {item.describe()}")
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+        with ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._mp_context()
+        ) as pool:
+            futures = [
+                pool.submit(execute_item, item, position, collect_obs, trace_dir)
+                for position, item in enumerate(items)
+            ]
+            return [
+                self._item_outcome(item, future)
+                for item, future in zip(items, futures)
+            ]
+
+    @staticmethod
+    def _item_outcome(item: SweepItem, future: Future) -> SweepOutcome:
+        try:
+            return future.result()
+        except Exception as error:  # noqa: BLE001 — e.g. BrokenProcessPool
+            # execute_item never raises, so reaching here means the worker
+            # process itself was lost; report it against the item the
+            # future belonged to and keep the sweep alive.
+            return SweepOutcome(
+                item=item,
+                error=(
+                    f"worker process died running sweep item "
+                    f"({item.describe()}): {type(error).__name__}: {error}"
+                ),
+                traceback=traceback.format_exc(),
+            )
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
+        self._preflight(tasks, lambda task: f"task {task.describe()}")
+        with ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._mp_context()
+        ) as pool:
+            futures = [
+                pool.submit(task.fn, *task.args, **dict(task.kwargs))
+                for task in tasks
+            ]
+            outcomes: List[TaskOutcome] = []
+            for task, future in zip(tasks, futures):
+                try:
+                    outcomes.append(
+                        TaskOutcome(label=task.describe(), value=future.result())
+                    )
+                except Exception as error:  # noqa: BLE001
+                    outcomes.append(_failed_task(task, error))
+            return outcomes
+
+
+def make_executor(workers: Optional[int]) -> SweepExecutor:
+    """``None``/``0``/``1`` → the serial reference; ``N>1`` → a pool."""
+    if not workers or workers == 1:
+        return SerialExecutor()
+    return ProcessPoolSweepExecutor(workers)

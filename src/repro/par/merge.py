@@ -1,0 +1,45 @@
+"""Merging per-worker observability summaries after a sweep.
+
+A parallel sweep run with ``collect_obs=True`` attaches each run's
+:meth:`~repro.obs.counters.MetricsRegistry.snapshot` to its outcome
+(worker processes cannot share a live registry, and event-for-event
+trace shipping would dwarf the simulation itself).  :func:`merge_outcome
+_counters` folds those snapshots — in submission order — into one
+registry: counters add, gauges last-write-win, histograms combine
+bucket-for-bucket.  The merged registry is therefore identical whether
+the sweep ran serially or on any number of workers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.obs.counters import MetricsRegistry
+from repro.par.items import SweepOutcome
+
+#: Counter recording how many run summaries were folded in.
+MERGED_RUNS_COUNTER = "sweep.merged_runs"
+#: Counter recording how many sweep items failed (crashed worker or
+#: raising simulation) and therefore contributed no summary.
+FAILED_RUNS_COUNTER = "sweep.failed_runs"
+
+
+def merge_outcome_counters(
+    outcomes: Iterable[SweepOutcome],
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """One registry aggregating every outcome's per-run counter snapshot.
+
+    Outcomes without a snapshot (failed items, or a sweep run without
+    ``collect_obs``) contribute only to the bookkeeping counters.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    for outcome in outcomes:
+        if not outcome.ok:
+            registry.counter(FAILED_RUNS_COUNTER).inc()
+            continue
+        if outcome.counters is None:
+            continue
+        registry.merge_snapshot(outcome.counters)
+        registry.counter(MERGED_RUNS_COUNTER).inc()
+    return registry

@@ -1,0 +1,117 @@
+"""The sweep worker: runs one :class:`~repro.par.items.SweepItem`.
+
+This is the *only* code that executes sweep work, for every backend —
+the serial executor calls :func:`execute_item` in-process and the pooled
+executor calls it inside worker processes — so the two paths cannot
+drift apart.  The body reproduces ``run_repeats``'s per-repeat protocol
+verbatim: build the workload from ``(family, population, workload_seed)``,
+then run the simulation with ``config.with_(seed=seed)``.
+
+Failures never propagate: any exception raised while running an item is
+captured into the returned :class:`~repro.par.items.SweepOutcome` with
+the item's family/seed/config in the message, so one bad seed marks its
+cell failed while the rest of the sweep proceeds.
+
+Workload memoization: a fixed-draw sweep (``vary_workload=False``) gives
+every item the same ``(family, population, workload_seed)`` key, so the
+worker keeps a size-one memo of the last workload built — one
+``make_workload`` call per fixed-draw sweep instead of one per repeat
+(workloads are immutable value objects, so replaying one instance is
+exactly Fig. 2's protocol).  The serial executor passes a fresh memo per
+sweep; pooled workers share a per-process one.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Any, Dict, Optional
+
+from repro.par.items import SweepItem, SweepOutcome
+from repro.workloads import make as make_workload
+
+#: Per-process workload memo for pooled workers ({"key": ..., "workload": ...}).
+_PROCESS_MEMO: Dict[str, Any] = {}
+
+
+def _workload_for(item: SweepItem, memo: Dict[str, Any]):
+    """The item's workload, via the size-one memo."""
+    key = (item.family, item.population, item.workload_seed)
+    if memo.get("key") != key:
+        memo["key"] = key
+        memo["workload"] = make_workload(
+            item.family, size=item.population, seed=item.workload_seed
+        )
+    return memo["workload"]
+
+
+def _trace_path(trace_dir: str, position: int, item: SweepItem) -> str:
+    name = (
+        f"{position:04d}_{item.family}_{item.config.algorithm}_"
+        f"{item.config.oracle}_seed{item.seed}.jsonl"
+    )
+    return os.path.join(trace_dir, name)
+
+
+def execute_item(
+    item: SweepItem,
+    position: int = 0,
+    collect_obs: bool = False,
+    trace_dir: Optional[str] = None,
+    memo: Optional[Dict[str, Any]] = None,
+) -> SweepOutcome:
+    """Run one sweep item; always returns (never raises).
+
+    With ``collect_obs`` or ``trace_dir`` the run carries a
+    :class:`~repro.obs.probe.RecordingProbe` — probes never consume RNG
+    or change outcomes (the :mod:`repro.obs` invariant), so observed and
+    unobserved sweeps stay bit-identical.  ``position`` is the item's
+    submission index, used only to keep trace filenames unique.
+    """
+    # Imported here so a pool started with the "spawn" method can still
+    # resolve everything after a bare interpreter boot.
+    from repro.obs.export import write_trace
+    from repro.obs.probe import RecordingProbe
+    from repro.sim.runner import Simulation
+
+    if memo is None:
+        memo = _PROCESS_MEMO
+    try:
+        workload = _workload_for(item, memo)
+        config = item.config.with_(seed=item.seed)
+        probe = RecordingProbe() if (collect_obs or trace_dir) else None
+        simulation = Simulation(workload, config, probe=probe)
+        result = simulation.run()
+        trace_path = None
+        if trace_dir is not None:
+            trace_path = _trace_path(trace_dir, position, item)
+            write_trace(
+                trace_path,
+                probe.events,
+                phase_timings=simulation.timings.summary(),
+                registry=probe.registry,
+                header_extra={
+                    "workload": workload.name,
+                    "family": item.family,
+                    "algorithm": config.algorithm,
+                    "oracle": config.oracle,
+                    "seed": item.seed,
+                    "workload_seed": item.workload_seed,
+                    "rounds": result.rounds_run,
+                },
+            )
+        return SweepOutcome(
+            item=item,
+            result=result,
+            counters=probe.registry.snapshot() if collect_obs else None,
+            trace_path=trace_path,
+        )
+    except Exception as error:  # noqa: BLE001 — the contract is "never raise"
+        return SweepOutcome(
+            item=item,
+            error=(
+                f"sweep item failed ({item.describe()}): "
+                f"{type(error).__name__}: {error}"
+            ),
+            traceback=traceback.format_exc(),
+        )

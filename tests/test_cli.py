@@ -58,6 +58,71 @@ class TestBuild:
         assert code == 1
 
 
+class TestSweep:
+    ARGS = [
+        "sweep",
+        "--families",
+        "Rand",
+        "--oracles",
+        "random",
+        "--size",
+        "25",
+        "--repeats",
+        "2",
+        "--max-rounds",
+        "1500",
+    ]
+
+    def test_sweep_serial_and_parallel_print_identical_grids(self, capsys):
+        assert main(self.ARGS) == 0
+        serial_out = capsys.readouterr().out
+        assert main(self.ARGS + ["--workers", "2"]) == 0
+        pooled_out = capsys.readouterr().out
+        assert "(serial, 1 worker)" in serial_out
+        assert "(process-pool, 2 workers)" in pooled_out
+        # Everything below the executor banner — the grid — is identical.
+        assert serial_out.splitlines()[1:] == pooled_out.splitlines()[1:]
+
+    def test_sweep_obs_and_traces(self, tmp_path, capsys):
+        code = main(
+            self.ARGS + ["--obs", "--trace-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"wrote 2 per-seed traces to {tmp_path}" in out
+        assert "sweep.merged_runs" in out
+        assert len(list(tmp_path.glob("*.jsonl"))) == 2
+
+    def test_sweep_with_fault_plan(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--families",
+                "Rand",
+                "--oracles",
+                "random-delay",
+                "--size",
+                "20",
+                "--repeats",
+                "2",
+                "--max-rounds",
+                "150",
+                "--faults",
+                "crash@30:0.2:rejoin=10",
+            ]
+        )
+        assert code == 0
+
+    def test_sweep_family_shorthands(self, capsys):
+        from repro.cli import _parse_sweep_families, _parse_sweep_oracles
+        from repro.oracles.base import oracle_names
+        from repro.workloads import PAPER_FAMILIES
+
+        assert _parse_sweep_families("paper") == list(PAPER_FAMILIES)
+        assert _parse_sweep_families("Rand, BiCorr") == ["Rand", "BiCorr"]
+        assert _parse_sweep_oracles("all") == list(oracle_names())
+
+
 class TestWorkload:
     def test_workload_description(self, capsys):
         code = main(["workload", "--workload", "Tf1", "--size", "39"])

@@ -42,6 +42,48 @@ class TestRunnerHelpers:
         )
         assert fixed.runs == 2
 
+    def test_fixed_draw_builds_workload_exactly_once(self, monkeypatch):
+        import repro.par.worker as worker
+
+        calls = []
+        real_make = worker.make_workload
+
+        def counting_make(family, size, seed):
+            calls.append((family, size, seed))
+            return real_make(family, size=size, seed=seed)
+
+        monkeypatch.setattr(worker, "make_workload", counting_make)
+        runs = run_repeats(
+            "Rand",
+            SimulationConfig(max_rounds=1200),
+            population=25,
+            repeats=3,
+            vary_workload=False,
+        )
+        assert runs.runs == 3
+        # One fixed draw, replayed every repeat — not re-drawn per seed.
+        assert calls == [("Rand", 25, 0)]
+
+    def test_varied_draw_builds_workload_per_seed(self, monkeypatch):
+        import repro.par.worker as worker
+
+        calls = []
+        real_make = worker.make_workload
+
+        def counting_make(family, size, seed):
+            calls.append(seed)
+            return real_make(family, size=size, seed=seed)
+
+        monkeypatch.setattr(worker, "make_workload", counting_make)
+        run_repeats(
+            "Rand",
+            SimulationConfig(max_rounds=1200),
+            population=25,
+            repeats=3,
+            base_seed=5,
+        )
+        assert calls == [5, 6, 7]
+
 
 class TestFigureModules:
     def test_figure2_summaries(self):
@@ -59,6 +101,18 @@ class TestFigureModules:
             grid, families=("Rand",), oracles=("random", "random-delay")
         )
         assert table[0][0] == "Rand"
+
+    def test_figure3_grid_identical_under_pool(self):
+        from repro.par import ProcessPoolSweepExecutor
+
+        serial = figure3.run(TINY, families=("Rand",), oracles=("random",))
+        pooled = figure3.run(
+            TINY,
+            families=("Rand",),
+            oracles=("random",),
+            executor=ProcessPoolSweepExecutor(2),
+        )
+        assert serial == pooled
 
     def test_figure4_grid(self):
         grid = figure4.run(TINY)

@@ -10,14 +10,19 @@ Invariants exercised here:
 * the §3.3 sufficiency condition implies exact feasibility on small random
   populations (it is a *sufficient* condition);
 * workload repair always terminates on positive-fanout populations and
-  yields sufficiency.
+  yields sufficiency;
+* ``MedianOfRuns`` (the paper's repeat-median protocol, which the
+  parallel sweep engine folds worker outcomes into) is starvation-aware
+  for any mix of converged and failed runs.
 """
 
 import random
+import statistics
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.stats import MedianOfRuns
 from repro.core.constraints import NodeSpec
 from repro.core.greedy import GreedyConstruction
 from repro.core.hybrid import HybridConstruction
@@ -218,6 +223,71 @@ class TestAlgorithmInvariants:
                 else:
                     algo.maintain(node)
             overlay.check_integrity()
+
+
+run_values_strategy = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=10_000)),
+    max_size=25,
+)
+
+
+class TestMedianOfRunsProperties:
+    """The repeat-median fold every sweep (serial or parallel) ends in."""
+
+    @given(values=run_values_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_median_is_none_iff_majority_failed(self, values):
+        runs = MedianOfRuns(values)
+        converged = [v for v in values if v is not None]
+        assert runs.runs == len(values)
+        assert runs.failures == len(values) - len(converged)
+        assert runs.converged_values == converged
+        if len(converged) * 2 <= len(values):
+            assert runs.median is None
+        else:
+            assert runs.median == statistics.median(converged)
+            assert min(converged) <= runs.median <= max(converged)
+
+    @given(values=run_values_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_render_never_raises_and_reports_failures(self, values):
+        runs = MedianOfRuns(values)
+        text = runs.render()
+        assert isinstance(text, str) and text
+        if runs.median is None:
+            assert text.startswith("stuck")
+        if runs.failures:
+            assert f"{runs.failures}/{runs.runs} failed" in text
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=2,
+            max_size=24,
+        ).filter(lambda v: len(v) % 2 == 0)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_even_length_median_interpolates_middle_pair(self, values):
+        ordered = sorted(values)
+        middle = len(values) // 2
+        expected = (ordered[middle - 1] + ordered[middle]) / 2
+        assert MedianOfRuns(values).median == expected
+
+    def test_all_failed_and_empty_are_stuck(self):
+        for values in ([], [None], [None, None, None]):
+            runs = MedianOfRuns(values)
+            assert runs.median is None
+            assert runs.failures == len(values)
+
+    def test_single_run_edge_cases(self):
+        assert MedianOfRuns([7]).median == 7
+        assert MedianOfRuns([7]).render() == "7"
+        assert MedianOfRuns([None]).median is None
+
+    def test_exact_half_failed_is_stuck(self):
+        # 2 of 4 converged: a survivors-only median would flatter the
+        # cell, so the protocol reports it stuck.
+        assert MedianOfRuns([10, None, 20, None]).median is None
 
 
 class TestSufficiencyProperties:
