@@ -1,7 +1,10 @@
 #!/usr/bin/env python
 """Chaos soak: sustained fault injection at scale, plus a backoff A/B.
 
-Two harnesses in one file:
+A thin CLI wrapper over the registered ``chaos_soak.soak`` and
+``chaos_soak.backoff_ab`` benchmarks (:mod:`repro.bench.suites.chaos` —
+the measurement logic lives there; this script keeps the historical
+flags and the historical ``BENCH_chaos_soak.json`` output path).
 
 ``soak``
     A long run (default: N=500 consumers, hybrid × Oracle Random-Delay)
@@ -20,13 +23,14 @@ Two harnesses in one file:
     the exponential source-contact backoff (``ProtocolConfig.
     source_backoff``).  Counts per-round source contacts in the
     contention window: backoff must strictly reduce the load on the
-    source while initial convergence must not regress.
+    source while initial convergence must not regress.  The two arms
+    are independent seeded runs, so ``--workers 2`` fans them out
+    through :mod:`repro.par`.
 
-The two A/B arms are independent seeded runs, so ``--workers 2`` fans
-them out through :mod:`repro.par` (every A/B statistic is a
-deterministic event count, so parallel arms report identical numbers).
-
-Results are written as JSON (default ``BENCH_chaos_soak.json``).
+The output file merges the two records' legacy payloads into the
+historical ``BENCH_chaos_soak.json`` shape (with the normalized
+``repro.bench/v1`` envelope alongside; see docs/BENCHMARKS.md), and the
+run appends one compact line per benchmark to ``BENCH_HISTORY.jsonl``.
 
 Usage::
 
@@ -38,155 +42,43 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core.protocol import ProtocolConfig  # noqa: E402
-from repro.faults import (  # noqa: E402
-    FaultPlan,
-    MassCrash,
-    SourceOutage,
-    StaleOracleView,
+from repro.bench import (  # noqa: E402
+    RunnerConfig,
+    append_history,
+    legacy_view,
+    load_suites,
+    run_benchmark,
 )
-from repro.obs import RecordingProbe  # noqa: E402
-from repro.par import Task, make_executor  # noqa: E402
-from repro.sim.runner import Simulation, SimulationConfig  # noqa: E402
-from repro.workloads.random_workload import rand_workload  # noqa: E402
-
-
-def run_soak(
-    population: int,
-    seed: int,
-    algorithm: str,
-    oracle: str,
-    max_rounds: int,
-    crash_round: int,
-    integrity_every: int,
-) -> dict:
-    """One long run under the layered fault plan; integrity-checked."""
-    plan = FaultPlan.of(
-        MassCrash(round=crash_round, fraction=0.2, rejoin_after=20),
-        SourceOutage(round=crash_round + 90, duration=12),
-        StaleOracleView(round=crash_round + 160, duration=15, staleness=6),
-    )
-    workload, _ = rand_workload(size=population, seed=seed, source_fanout=4)
-    config = SimulationConfig(
-        algorithm=algorithm,
-        oracle=oracle,
-        seed=seed,
-        faults=plan,
-        max_rounds=max_rounds,
-        stop_at_convergence=False,
-    )
-    simulation = Simulation(workload, config)
-    start = time.perf_counter()
-    integrity_checks = 0
-    while simulation.now < max_rounds:
-        simulation.run_round()
-        if simulation.now % integrity_every == 0:
-            simulation.overlay.check_integrity()
-            integrity_checks += 1
-    elapsed = time.perf_counter() - start
-    result = simulation.result()
-    return {
-        "plan": [
-            "mass-crash 20% + rejoin burst",
-            "source outage",
-            "stale oracle view",
-        ],
-        "rounds": result.rounds_run,
-        "seconds": elapsed,
-        "rounds_per_sec": result.rounds_run / elapsed,
-        "integrity_checks": integrity_checks,
-        "fault_events": result.fault_events,
-        "availability": result.availability,
-        "time_to_recover": result.time_to_recover,
-        "recovery_series": result.recovery_series,
-        "departures": result.departures,
-        "rejoins": result.rejoins,
-        "satisfied_fraction": result.final_quality.satisfied_fraction,
-    }
-
-
-def run_burst(
-    population: int,
-    seed: int,
-    algorithm: str,
-    oracle: str,
-    crash_round: int,
-    rejoin_after: int,
-    window: int,
-    backoff: bool,
-) -> dict:
-    """One mass-crash-and-rejoin run; returns source-contact pressure.
-
-    The rejoin burst lands inside a source outage, so every herd member
-    keeps failing its direct contact — the scenario the backoff
-    hardening exists for.  Without backoff each one re-hammers the
-    source every ``timeout`` rounds for the whole outage.
-    """
-    rejoin_round = crash_round + rejoin_after
-    plan = FaultPlan.of(
-        MassCrash(round=crash_round, fraction=0.4, rejoin_after=rejoin_after),
-        SourceOutage(round=rejoin_round, duration=window),
-    )
-    workload, _ = rand_workload(size=population, seed=seed, source_fanout=4)
-    probe = RecordingProbe()
-    config = SimulationConfig(
-        algorithm=algorithm,
-        oracle=oracle,
-        seed=seed,
-        protocol=ProtocolConfig(source_backoff=backoff),
-        faults=plan,
-        max_rounds=crash_round + rejoin_after + window,
-        stop_at_convergence=False,
-        probe=probe,
-    )
-    simulation = Simulation(workload, config)
-    result = simulation.run()
-    contacts = probe.events_of("source-contact")
-    in_window = [
-        e for e in contacts if rejoin_round <= e.round < rejoin_round + window
-    ]
-    per_round: dict = {}
-    per_node: dict = {}
-    for event in in_window:
-        per_round[event.round] = per_round.get(event.round, 0) + 1
-        per_node[event.node] = per_node.get(event.node, 0) + 1
-    return {
-        "backoff": backoff,
-        "converged_round": result.construction_rounds,
-        "contacts_total": len(contacts),
-        "contacts_in_window": len(in_window),
-        "peak_contacts_per_round": max(per_round.values()) if per_round else 0,
-        # Contacts beyond each node's first: the re-hammering that backoff
-        # exists to shed.  (A node's *first* failing contact is unavoidable
-        # load either way, and which nodes end up herding varies between
-        # the two runs once their trajectories diverge.)
-        "repeat_contacts_in_window": sum(c - 1 for c in per_node.values()),
-        "failures_in_window": sum(
-            1 for e in in_window if e.outcome in ("reject", "outage")
-        ),
-        "time_to_recover": result.time_to_recover,
-    }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--population", type=int, default=500)
+    parser.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        help="consumers (default 500; 120 with --quick)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--algorithm", default="hybrid")
     parser.add_argument("--oracle", default="random-delay")
-    parser.add_argument("--max-rounds", type=int, default=320)
+    parser.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        help="soak length (default 320; 220 with --quick)",
+    )
     parser.add_argument(
         "--crash-round",
         type=int,
-        default=100,
-        help="round the layered plan starts; later faults are offsets",
+        default=None,
+        help="round the layered plan starts (default 100; 40 with "
+        "--quick); later faults are offsets",
     )
     parser.add_argument(
         "--integrity-every",
@@ -216,24 +108,37 @@ def main(argv=None) -> int:
         action="store_true",
         help="CI smoke scale (N=120, shorter run) instead of the full soak",
     )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to BENCH_HISTORY.jsonl",
+    )
     args = parser.parse_args(argv)
-    if args.quick:
-        args.population, args.max_rounds, args.crash_round = 120, 220, 40
 
+    registry = load_suites()
+    options = {
+        "population": args.population,
+        "max_rounds": args.max_rounds,
+        "crash_round": args.crash_round,
+        "seed": args.seed,
+        "algorithm": args.algorithm,
+        "oracle": args.oracle,
+        "integrity_every": args.integrity_every,
+        "window": args.window,
+    }
+    config = RunnerConfig(
+        quick=args.quick, workers=args.workers, options=options
+    )
+
+    population = args.population or (120 if args.quick else 500)
+    max_rounds = args.max_rounds or (220 if args.quick else 320)
     print(
-        f"chaos soak: N={args.population} rounds={args.max_rounds} "
+        f"chaos soak: N={population} rounds={max_rounds} "
         f"{args.algorithm} x {args.oracle}, layered fault plan",
         flush=True,
     )
-    soak = run_soak(
-        args.population,
-        args.seed,
-        args.algorithm,
-        args.oracle,
-        args.max_rounds,
-        args.crash_round,
-        args.integrity_every,
-    )
+    soak_record = run_benchmark(registry.get("chaos_soak.soak"), config)
+    soak = soak_record["detail"]["soak"]
     recover = soak["time_to_recover"]
     print(
         f"  soak: {soak['fault_events']} faults, availability "
@@ -243,41 +148,23 @@ def main(argv=None) -> int:
         f"({soak['seconds']:.2f}s)",
         flush=True,
     )
-    if recover is None:
-        print("FATAL: soak never re-converged after its faults", file=sys.stderr)
+    for failure in soak_record["failures"]:
+        print(f"FATAL: {failure}", file=sys.stderr)
+    if soak_record["failures"]:
         return 1
 
-    # The backoff run converges a little later than the baseline (first
-    # failures double the retry delay during construction too), so the
-    # A/B's crash lands a bit after the soak's to stay post-convergence
-    # in both modes.
-    burst_crash = args.crash_round + 20
+    burst_crash = soak_record["detail"]["crash_round"] + 20
     print(
         f"backoff A/B: 40% crash @ {burst_crash} rejoining as a burst "
         f"into a source outage, {args.window}-round contention window",
         flush=True,
     )
-    burst_args = (
-        args.population,
-        args.seed,
-        args.algorithm,
-        args.oracle,
-        burst_crash,
-        10,
-        args.window,
-    )
-    arms = make_executor(args.workers).run_tasks(
-        [
-            Task(run_burst, burst_args + (False,), label="baseline"),
-            Task(run_burst, burst_args + (True,), label="backoff"),
-        ]
-    )
-    for arm in arms:
-        if not arm.ok:
-            print(f"FATAL: A/B arm failed: {arm.error}", file=sys.stderr)
-            return 1
-    baseline, hardened = arms[0].value, arms[1].value
+    ab_record = run_benchmark(registry.get("chaos_soak.backoff_ab"), config)
+    ab = ab_record["detail"]
+    baseline, hardened = ab["baseline"], ab["backoff"]
     for label, run in (("baseline", baseline), ("backoff", hardened)):
+        if run is None:
+            continue
         print(
             f"  {label:8s}: {run['contacts_in_window']:5d} source contacts "
             f"in window ({run['repeat_contacts_in_window']} repeats, peak "
@@ -286,62 +173,30 @@ def main(argv=None) -> int:
             f"{run['converged_round']}",
             flush=True,
         )
-    failures = []
-    if not (
-        hardened["repeat_contacts_in_window"]
-        < baseline["repeat_contacts_in_window"]
-    ):
-        failures.append(
-            "backoff did not reduce repeat source contacts in the rejoin window"
-        )
-    # Convergence happens before the fault fires, so the hardened run may
-    # only differ through backoff on ordinary construction-time rejects;
-    # allow a small slack but fail on a real regression.
-    if baseline["converged_round"] is not None:
-        slack = max(5, baseline["converged_round"] // 4)
-        if hardened["converged_round"] is None:
-            failures.append("backoff run failed to converge at all")
-        elif hardened["converged_round"] > baseline["converged_round"] + slack:
-            failures.append(
-                "backoff regressed initial convergence beyond the allowed slack"
-            )
-    for failure in failures:
+    for failure in ab_record["failures"]:
         print(f"FATAL: {failure}", file=sys.stderr)
 
-    report = {
-        "benchmark": "chaos_soak",
-        "population": args.population,
-        "max_rounds": args.max_rounds,
-        "seed": args.seed,
-        "algorithm": args.algorithm,
-        "oracle": args.oracle,
-        "churn": True,
-        "quick": args.quick,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "soak": soak,
-        "backoff_ab": {
-            "window": args.window,
-            "baseline": baseline,
-            "backoff": hardened,
-            "contact_reduction": (
-                1
-                - hardened["repeat_contacts_in_window"]
-                / baseline["repeat_contacts_in_window"]
-                if baseline["repeat_contacts_in_window"]
-                else None
-            ),
-        },
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    # The historical BENCH_chaos_soak.json shape: one document holding
+    # both halves, with the A/B's legacy envelope reconstructed.
+    report = legacy_view(soak_record)
+    report["backoff_ab"] = {
+        "window": ab["window"],
+        "baseline": baseline,
+        "backoff": hardened,
+        "contact_reduction": ab["contact_reduction"],
     }
+    report["backoff_ab_metrics"] = ab_record["metrics"]
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    if not failures:
-        reduction = report["backoff_ab"]["contact_reduction"]
+    if not args.no_history:
+        append_history("BENCH_HISTORY.jsonl", [soak_record, ab_record])
+    if not ab_record["failures"] and ab["contact_reduction"] is not None:
         print(
-            f"  backoff shed {reduction:.0%} of repeat source contacts "
-            f"-> {args.output}"
+            f"  backoff shed {ab['contact_reduction']:.0%} of repeat source "
+            f"contacts -> {args.output}"
         )
-    return 1 if failures else 0
+    else:
+        print(f"  -> {args.output}")
+    return 1 if ab_record["failures"] else 0
 
 
 if __name__ == "__main__":

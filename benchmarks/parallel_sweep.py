@@ -1,20 +1,28 @@
 #!/usr/bin/env python
 """Perf harness for the parallel sweep engine: the Fig. 3 grid, fanned out.
 
+A thin CLI wrapper over the registered ``parallel_sweep.grid`` benchmark
+(:mod:`repro.bench.suites.sweep` — the measurement logic lives there;
+this script keeps the historical flags and the historical
+``BENCH_parallel_sweep.json`` output path).
+
 Runs the full Figure 3 (family × oracle) grid at the QUICK experiment
 profile three ways — the serial reference executor, then a process pool
-at each ``--workers`` count (default 2 and 4) — asserts the three grids
-are **bit-identical** (the :mod:`repro.par` determinism contract: the
+at each ``--workers`` count (default 2 and 4) — asserts the grids are
+**bit-identical** (the :mod:`repro.par` determinism contract: the
 parallel engine may never change a number in EXPERIMENTS.md), and
-reports wall-clock speedups.  Results are written as JSON (default
-``BENCH_parallel_sweep.json``).
+reports wall-clock speedups.
 
 The measured speedup is bounded by the CPUs actually available: a
 repeat-median sweep is pure CPU-bound Python, so on an M-core machine
-the pool can at best approach min(workers, M)×.  The report records
-``cpu_count`` so numbers from different machines are comparable; on a
-single-core container the parallel runs measure pure engine overhead
-(expect ~1×, not a speedup).
+the pool can at best approach min(workers, M)×.  The record's
+environment fingerprint carries ``cpu_count`` so numbers from different
+machines are comparable; on a single-core container the parallel runs
+measure pure engine overhead (expect ~1×, not a speedup).
+
+The output file is the legacy view of the normalized ``repro.bench/v1``
+record (see docs/BENCHMARKS.md), and the run appends one compact line
+to ``BENCH_HISTORY.jsonl``.
 
 Usage::
 
@@ -26,46 +34,21 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.experiments import figure3  # noqa: E402
-from repro.experiments.config import QUICK, ExperimentProfile  # noqa: E402
-from repro.oracles.base import oracle_names  # noqa: E402
-from repro.par import ProcessPoolSweepExecutor, SerialExecutor  # noqa: E402
-from repro.workloads import PAPER_FAMILIES  # noqa: E402
+from repro.bench import (  # noqa: E402
+    RunnerConfig,
+    append_history,
+    legacy_view,
+    load_suites,
+    run_benchmark,
+)
+from repro.bench.env import available_cpus  # noqa: E402
 
-
-def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
-
-
-def run_grid(profile: ExperimentProfile, families, oracles, executor) -> dict:
-    """One timed Fig. 3 grid run under the given executor."""
-    start = time.perf_counter()
-    grid = figure3.run(
-        profile, families=families, oracles=oracles, executor=executor
-    )
-    elapsed = time.perf_counter() - start
-    return {
-        "executor": executor.name,
-        "workers": executor.workers,
-        "seconds": elapsed,
-        "cells": len(grid),
-        "runs": len(grid) * profile.repeats,
-        "grid": {
-            f"{family}/{oracle}": runs.values
-            for (family, oracle), runs in grid.items()
-        },
-    }
+BENCH_NAME = "parallel_sweep.grid"
 
 
 def main(argv=None) -> int:
@@ -74,8 +57,9 @@ def main(argv=None) -> int:
         "--workers",
         type=int,
         nargs="+",
-        default=[2, 4],
-        help="pool sizes to measure against the serial reference",
+        default=None,
+        help="pool sizes to measure against the serial reference "
+        "(default 2 and 4; just 2 with --quick)",
     )
     parser.add_argument(
         "--repeats",
@@ -92,80 +76,56 @@ def main(argv=None) -> int:
         help="CI smoke scale (2x2 grid, N=30) instead of the full "
         "Fig. 3 quick-mode grid",
     )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to BENCH_HISTORY.jsonl",
+    )
     args = parser.parse_args(argv)
 
-    profile = QUICK
-    families, oracles = PAPER_FAMILIES, tuple(oracle_names())
-    if args.quick:
-        profile = ExperimentProfile(
-            name="smoke", population=30, repeats=2, max_rounds=800
-        )
-        families, oracles = ("Rand", "BiCorr"), ("random", "random-delay")
-    if args.repeats is not None:
-        import dataclasses
-
-        profile = dataclasses.replace(profile, repeats=args.repeats)
-
-    cpus = _available_cpus()
+    bench = load_suites().get(BENCH_NAME)
+    config = RunnerConfig(
+        quick=args.quick,
+        options={
+            "worker_counts": args.workers,
+            "grid_repeats": args.repeats,
+        },
+    )
     print(
-        f"parallel-sweep bench: Fig. 3 grid, {len(families)}x{len(oracles)} "
-        f"cells x {profile.repeats} seeds (N={profile.population}, "
-        f"max_rounds={profile.max_rounds}), {cpus} CPU(s) available",
+        f"parallel-sweep bench: Fig. 3 grid, {available_cpus()} CPU(s) "
+        f"available",
         flush=True,
     )
-    serial = run_grid(profile, families, oracles, SerialExecutor())
+    record = run_benchmark(bench, config)
+    detail = record["detail"]
+    serial = detail["serial"]
+    print(
+        f"  grid: {len(detail['families'])}x{len(detail['oracles'])} cells "
+        f"x {detail['repeats']} seeds (N={detail['population']}, "
+        f"max_rounds={detail['max_rounds']})",
+        flush=True,
+    )
     print(
         f"  serial   : {serial['seconds']:6.2f}s for {serial['runs']} runs",
         flush=True,
     )
-
-    parallel = []
-    identical = True
-    for workers in args.workers:
-        run = run_grid(
-            profile, families, oracles, ProcessPoolSweepExecutor(workers)
-        )
-        run["speedup"] = serial["seconds"] / run["seconds"]
-        run["identical_to_serial"] = run["grid"] == serial["grid"]
-        identical = identical and run["identical_to_serial"]
-        parallel.append(run)
+    for run in detail["parallel"]:
         print(
-            f"  {workers} workers: {run['seconds']:6.2f}s  "
+            f"  {run['workers']} workers: {run['seconds']:6.2f}s  "
             f"speedup {run['speedup']:4.2f}x  "
             f"bit-identical: {run['identical_to_serial']}",
             flush=True,
         )
-        if not run["identical_to_serial"]:
-            print(
-                f"FATAL: {workers}-worker grid diverged from serial",
-                file=sys.stderr,
-            )
+    for failure in record["failures"]:
+        print(f"FATAL: {failure}", file=sys.stderr)
 
-    report = {
-        "benchmark": "parallel_sweep",
-        "profile": profile.name,
-        "population": profile.population,
-        "repeats": profile.repeats,
-        "max_rounds": profile.max_rounds,
-        "families": list(families),
-        "oracles": list(oracles),
-        "quick": args.quick,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "cpu_count": cpus,
-        "cpu_bound_note": (
-            "speedup is bounded by min(workers, cpu_count); on a "
-            "single-CPU machine the parallel runs measure engine "
-            "overhead, not speedup"
-        ),
-        "serial": serial,
-        "parallel": parallel,
-        "identical": identical,
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    Path(args.output).write_text(
+        json.dumps(legacy_view(record), indent=2) + "\n"
+    )
+    if not args.no_history:
+        append_history("BENCH_HISTORY.jsonl", [record])
     print(f"  -> {args.output}")
-    return 0 if identical else 1
+    return 1 if record["failures"] else 0
 
 
 if __name__ == "__main__":

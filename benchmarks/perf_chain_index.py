@@ -1,19 +1,21 @@
 #!/usr/bin/env python
 """Perf harness for the chain-metadata index: rounds/sec, indexed vs walked.
 
+A thin CLI wrapper over the registered ``chain_index.churn`` benchmark
+(:mod:`repro.bench.suites.chain_index` — the measurement logic lives
+there; this script keeps the historical flags and the historical
+``BENCH_chain_index.json`` output path).
+
 Runs a fixed number of construction rounds of a large churned workload
 (default: N=2000 consumers, hybrid × Oracle Random-Delay, paper churn)
 twice — once with the production :class:`~repro.core.index.ChainIndex`
 reads, once with every chain-metadata read routed through the in-tree
 reference walk (``Overlay.walk_*``, the pre-index implementation) — and
-reports rounds/sec plus the speedup.  Results are written as JSON
-(default ``BENCH_chain_index.json``), seeding the repo's perf trajectory:
-re-run after hot-path changes and compare.
-
-The walked baseline is conservative: it keeps the refactor's single
-shared forest scan per round and only swaps the reads, so the true
-pre-refactor cost (three walks per node in ``measure()`` alone) was
-higher than what "walk" measures here.
+reports rounds/sec plus the speedup.  The output file is the legacy
+view of the normalized ``repro.bench/v1`` record (the historical keys
+at the top level, the schema envelope alongside; see
+docs/BENCHMARKS.md), and the run appends one compact line to
+``BENCH_HISTORY.jsonl`` like every other harness run.
 
 ``--workers 2`` dispatches the two modes as :mod:`repro.par` tasks in
 separate worker processes (the walk patch is applied inside the worker,
@@ -32,82 +34,37 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
-import time
-from contextlib import contextmanager
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core.tree import Overlay  # noqa: E402
-from repro.par import Task, make_executor  # noqa: E402
-from repro.sim.churn import ChurnConfig  # noqa: E402
-from repro.sim.runner import Simulation, SimulationConfig  # noqa: E402
-from repro.workloads.random_workload import rand_workload  # noqa: E402
+from repro.bench import (  # noqa: E402
+    RunnerConfig,
+    append_history,
+    legacy_view,
+    load_suites,
+    run_benchmark,
+)
 
-#: Overlay readers swapped for their ``walk_*`` reference twins in
-#: baseline mode (mirrors tests/test_chain_index.py's golden guard).
-WALKED_READS = ("fragment_root", "depth", "is_rooted", "delay_at", "meets_latency")
-
-
-@contextmanager
-def walk_on_read():
-    """Temporarily route all chain-metadata reads through the walks."""
-    saved = {name: getattr(Overlay, name) for name in WALKED_READS}
-    try:
-        for name in WALKED_READS:
-            setattr(Overlay, name, getattr(Overlay, f"walk_{name}"))
-        yield
-    finally:
-        for name, method in saved.items():
-            setattr(Overlay, name, method)
-
-
-def run_rounds(
-    population: int, rounds: int, seed: int, algorithm: str, oracle: str
-) -> dict:
-    """Run ``rounds`` rounds; return timing and end-state statistics."""
-    workload, _ = rand_workload(size=population, seed=seed, source_fanout=4)
-    config = SimulationConfig(
-        algorithm=algorithm,
-        oracle=oracle,
-        seed=seed,
-        churn=ChurnConfig(),  # paper §5.3 churn: construction under churn
-        max_rounds=rounds,
-        stop_at_convergence=False,
-    )
-    simulation = Simulation(workload, config)
-    start = time.perf_counter()
-    result = simulation.run()
-    elapsed = time.perf_counter() - start
-    return {
-        "rounds": result.rounds_run,
-        "seconds": elapsed,
-        "rounds_per_sec": result.rounds_run / elapsed,
-        "satisfied_fraction": result.final_quality.satisfied_fraction,
-        "attaches": result.attaches,
-        "detaches": result.detaches,
-    }
-
-
-def run_rounds_walked(
-    population: int, rounds: int, seed: int, algorithm: str, oracle: str
-) -> dict:
-    """:func:`run_rounds` with the walk patch applied inside the worker."""
-    with walk_on_read():
-        return run_rounds(population, rounds, seed, algorithm, oracle)
+BENCH_NAME = "chain_index.churn"
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--population", type=int, default=2000)
+    parser.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        help="consumers (default 2000; 300 with --quick)",
+    )
     parser.add_argument(
         "--rounds",
         type=int,
-        default=80,
-        help="construction rounds per mode; the default covers both the "
-        "early all-parentless burst and the deep steady state",
+        default=None,
+        help="construction rounds per mode (default 80; 8 with --quick): "
+        "the default covers both the early all-parentless burst and the "
+        "deep steady state",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--algorithm", default="hybrid")
@@ -133,82 +90,60 @@ def main(argv=None) -> int:
         action="store_true",
         help="measure only the indexed path (no baseline, no speedup)",
     )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to BENCH_HISTORY.jsonl",
+    )
     args = parser.parse_args(argv)
-    if args.quick:
-        args.population, args.rounds = 300, 8
 
+    bench = load_suites().get(BENCH_NAME)
+    config = RunnerConfig(
+        quick=args.quick,
+        workers=args.workers,
+        options={
+            "population": args.population,
+            "rounds": args.rounds,
+            "seed": args.seed,
+            "algorithm": args.algorithm,
+            "oracle": args.oracle,
+            "skip_walk": args.skip_walk,
+        },
+    )
+    detail_preview = 300 if args.quick else 2000
     print(
-        f"chain-index bench: N={args.population} rounds={args.rounds} "
+        f"chain-index bench: N={args.population or detail_preview} "
+        f"rounds={args.rounds or (8 if args.quick else 80)} "
         f"{args.algorithm} x {args.oracle}, churn on",
         flush=True,
     )
-    mode_args = (
-        args.population, args.rounds, args.seed, args.algorithm, args.oracle
-    )
-    walked = None
-    if args.workers > 1 and not args.skip_walk:
-        modes = make_executor(args.workers).run_tasks(
-            [
-                Task(run_rounds, mode_args, label="indexed"),
-                Task(run_rounds_walked, mode_args, label="walked"),
-            ]
-        )
-        for mode in modes:
-            if not mode.ok:
-                print(f"FATAL: mode failed: {mode.error}", file=sys.stderr)
-                return 1
-        indexed, walked = modes[0].value, modes[1].value
+    record = run_benchmark(bench, config)
+    detail = record["detail"]
+    indexed, walked = detail["indexed"], detail["walked"]
+    if indexed:
         print(
             f"  indexed: {indexed['rounds_per_sec']:8.2f} rounds/sec "
             f"({indexed['seconds']:.2f}s)",
             flush=True,
         )
-    else:
-        indexed = run_rounds(*mode_args)
-        print(
-            f"  indexed: {indexed['rounds_per_sec']:8.2f} rounds/sec "
-            f"({indexed['seconds']:.2f}s)",
-            flush=True,
-        )
-        if not args.skip_walk:
-            walked = run_rounds_walked(*mode_args)
-    if walked is not None:
+    if walked:
         print(
             f"  walked:  {walked['rounds_per_sec']:8.2f} rounds/sec "
             f"({walked['seconds']:.2f}s)",
             flush=True,
         )
-        # Seeded runs are bit-identical either way (the golden guard);
-        # double-check the bench never compares apples to oranges.
-        for key in ("attaches", "detaches", "satisfied_fraction"):
-            if indexed[key] != walked[key]:
-                print(f"FATAL: {key} diverged between modes", file=sys.stderr)
-                return 1
+    for failure in record["failures"]:
+        print(f"FATAL: {failure}", file=sys.stderr)
+    if record["failures"]:
+        return 1
 
-    report = {
-        "benchmark": "chain_index",
-        "population": args.population,
-        "rounds": args.rounds,
-        "seed": args.seed,
-        "algorithm": args.algorithm,
-        "oracle": args.oracle,
-        "churn": True,
-        "quick": args.quick,
-        "workers": args.workers,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "indexed": indexed,
-        "walked": walked,
-        "speedup": (
-            indexed["rounds_per_sec"] / walked["rounds_per_sec"]
-            if walked is not None
-            else None
-        ),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    if walked is not None:
-        print(f"  speedup: {report['speedup']:.2f}x  -> {args.output}")
+    Path(args.output).write_text(
+        json.dumps(legacy_view(record), indent=2) + "\n"
+    )
+    if not args.no_history:
+        append_history("BENCH_HISTORY.jsonl", [record])
+    if detail["speedup"] is not None:
+        print(f"  speedup: {detail['speedup']:.2f}x  -> {args.output}")
     else:
         print(f"  -> {args.output}")
     return 0

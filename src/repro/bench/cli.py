@@ -1,0 +1,274 @@
+"""The ``repro bench`` subcommand: ``run``, ``list``, ``compare``.
+
+Kept next to the harness it drives; :mod:`repro.cli` delegates here.
+
+``run`` selects benchmarks by name and/or ``--tag`` (default: all),
+runs them through the shared runner, prints one line per benchmark,
+writes the run document (``--output``) and appends one compact line per
+benchmark to the history file (``--history``, opt out with
+``--no-history``).  Exit 1 if any benchmark reported a hard failure.
+
+``compare`` gates a current run against a baseline (either side may be
+a run document or a ``.jsonl`` history file) with the noise-aware rules
+of :mod:`repro.bench.compare`; exit 1 on regression, 2 on unreadable
+input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.analysis.reporting import ascii_table
+from repro.bench.compare import compare_files
+from repro.bench.history import DEFAULT_HISTORY, append_history
+from repro.bench.registry import load_suites
+from repro.bench.runner import RunnerConfig, run_benchmarks
+from repro.bench.schema import make_run_document, metric_medians
+from repro.core.errors import ConfigurationError
+
+
+def configure_parser(commands: argparse._SubParsersAction) -> None:
+    """Attach the ``bench`` subcommand tree to the CLI."""
+    bench = commands.add_parser(
+        "bench",
+        help="benchmark harness: run registered benchmarks, compare runs",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    run = bench_commands.add_parser(
+        "run", help="run registered benchmarks and record the results"
+    )
+    run.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="benchmark names to run (default: all registered)",
+    )
+    run.add_argument(
+        "--tag",
+        action="append",
+        default=[],
+        metavar="TAG",
+        help="also run every benchmark carrying TAG (repeatable)",
+    )
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke scale instead of the full workloads",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="parallelism hint passed to benchmarks that can fan out "
+        "through repro.par (0 = serial)",
+    )
+    run.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override every benchmark's registered repeat count",
+    )
+    run.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="override every benchmark's registered warmup count",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="also run each benchmark once under cProfile and embed the "
+        "top-N cumulative-time rows in its record",
+    )
+    run.add_argument(
+        "--profile-top",
+        type=int,
+        default=15,
+        help="rows of the cProfile table to keep (with --profile)",
+    )
+    run.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the full run document (schema repro.bench/run/v1) "
+        "to PATH",
+    )
+    run.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        metavar="PATH",
+        help=f"history file to append to (default {DEFAULT_HISTORY})",
+    )
+    run.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the history file",
+    )
+
+    lister = bench_commands.add_parser(
+        "list", help="list registered benchmarks, their tags and metrics"
+    )
+    lister.add_argument(
+        "--tag",
+        action="append",
+        default=[],
+        metavar="TAG",
+        help="only list benchmarks carrying TAG (repeatable)",
+    )
+
+    cmp_parser = bench_commands.add_parser(
+        "compare",
+        help="compare a current run against a baseline; exit 1 on "
+        "regression",
+    )
+    cmp_parser.add_argument(
+        "baseline", help="baseline run document or .jsonl history file"
+    )
+    cmp_parser.add_argument(
+        "current", help="current run document or .jsonl history file"
+    )
+    cmp_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override every metric's relative tolerance (e.g. 0.2)",
+    )
+
+
+def _headline(record: dict) -> str:
+    """The few most telling medians of a record, rendered compactly."""
+    medians = metric_medians(record)
+    parts: List[str] = []
+    for name in sorted(medians)[:4]:
+        parts.append(f"{name}={medians[name]:g}")
+    return "  ".join(parts)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    registry = load_suites()
+    try:
+        benches = registry.select(names=args.names, tags=args.tag)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not benches:
+        print("error: no benchmarks selected", file=sys.stderr)
+        return 2
+    config = RunnerConfig(
+        quick=args.quick,
+        workers=args.workers,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        profile=args.profile,
+        profile_top=args.profile_top,
+    )
+    scale = "quick" if args.quick else "full"
+    print(f"bench run: {len(benches)} benchmark(s), {scale} scale")
+
+    def progress(record: dict) -> None:
+        status = "FAILED" if record["failures"] else "ok"
+        print(
+            f"  {record['name']:28s} {record['seconds']:7.2f}s  {status:6s} "
+            f"{_headline(record)}",
+            flush=True,
+        )
+        for failure in record["failures"]:
+            print(f"    FAILURE: {failure}", file=sys.stderr)
+
+    records = run_benchmarks(benches, config, progress=progress)
+    if args.profile:
+        for record in records:
+            print(f"\nprofile: {record['name']}")
+            for line in record.get("profile", []):
+                print(f"  {line}")
+    if args.output:
+        document = make_run_document(records)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote run document to {args.output}")
+    if not args.no_history:
+        written = append_history(args.history, records)
+        print(f"appended {written} record(s) to {args.history}")
+    failed = [record["name"] for record in records if record["failures"]]
+    if failed:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registry = load_suites()
+    benches = registry.select(tags=args.tag) if args.tag else list(
+        registry.select()
+    )
+    rows = [
+        [
+            bench.name,
+            ",".join(bench.tags),
+            ",".join(sorted(bench.metrics)),
+            bench.description,
+        ]
+        for bench in benches
+    ]
+    print(ascii_table(["benchmark", "tags", "metrics", "description"], rows))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        report = compare_files(
+            args.baseline,
+            args.current,
+            tolerance=args.tolerance,
+            registry=load_suites(),
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if report.deltas:
+        print(
+            ascii_table(
+                [
+                    "benchmark",
+                    "metric",
+                    "baseline",
+                    "current",
+                    "change",
+                    "allowed",
+                    "status",
+                ],
+                [delta.render() for delta in report.deltas],
+            )
+        )
+    else:
+        print("no comparable metrics between the two sides")
+    for warning in report.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if report.regressions:
+        for delta in report.regressions:
+            print(
+                f"REGRESSION: {delta.benchmark} {delta.metric} "
+                f"{delta.baseline:g} -> {delta.current:g} "
+                f"(worse by {delta.worse_by:.1%}, allowed "
+                f"{delta.tolerance:.0%})",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"compare: ok ({len(report.deltas)} metric(s) within tolerance)")
+    return 0
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``bench`` invocation."""
+    if args.bench_command == "run":
+        return _cmd_run(args)
+    if args.bench_command == "list":
+        return _cmd_list(args)
+    if args.bench_command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")

@@ -1,0 +1,291 @@
+"""``repro bench compare``: noise-aware baseline/current comparison.
+
+Either side may be a run document (``repro bench run --output``), a
+single record, a bare list of records, a legacy ``BENCH_*.json`` view,
+or a ``BENCH_HISTORY.jsonl`` file (latest line per benchmark wins).
+
+The rules, in order:
+
+* Only benchmarks present on **both** sides are gated; one-sided
+  benchmarks produce warnings, never failures (a new benchmark must not
+  fail the first run that adds it, a retired one must not fail forever).
+* Likewise per metric: a metric missing from the baseline (or from the
+  current run) warns and is skipped.
+* Each metric's direction and relative tolerance come from the current
+  record's embedded spec, falling back to the registry, then to
+  defaults.  The median worsens *beyond* the tolerance → regression;
+  worse by **exactly** the tolerance is still noise (strict ``>``);
+  any improvement — however large — never fails.
+* Mismatched environment fingerprints (different interpreter, platform,
+  machine or CPU budget) emit a warning and downgrade every
+  **non-deterministic** metric (timings) to informational: reported,
+  never gating.  Deterministic metrics — seeded simulation outputs —
+  gate regardless, which is what lets a committed baseline enforce the
+  quick suite on any CI machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.env import fingerprints_match
+from repro.bench.history import latest_by_name, read_history
+from repro.bench.registry import REGISTRY, BenchmarkRegistry, Metric
+from repro.bench.schema import RUN_SCHEMA, metric_medians
+
+#: Metric-name fragments treated as lower-is-better when no spec is
+#: available (compact history lines against compact history lines).
+_LOWER_BETTER_HINTS = ("seconds", "time_to", "_rounds", "contacts")
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    current: float
+    #: Relative worsening of the median (positive = worse), in the
+    #: metric's own direction; ``-0.1`` means 10 % better.
+    worse_by: float
+    tolerance: float
+    #: ``ok`` | ``improved`` | ``regressed`` | ``informational``
+    status: str
+    note: str = ""
+
+    def render(self) -> List[object]:
+        arrow = {"improved": "+", "regressed": "!", "informational": "~"}.get(
+            self.status, " "
+        )
+        return [
+            self.benchmark,
+            self.metric,
+            f"{self.baseline:g}",
+            f"{self.current:g}",
+            f"{-self.worse_by + 0.0:+.1%}",  # +0.0 keeps '-0.0%' at bay
+            f"{self.tolerance:.0%}",
+            f"{arrow} {self.status}",
+        ]
+
+
+@dataclasses.dataclass
+class CompareReport:
+    """Everything ``compare`` decided, plus the exit code to use."""
+
+    deltas: List[MetricDelta] = dataclasses.field(default_factory=list)
+    warnings: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.status == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def load_side(path: str) -> Tuple[Dict[str, Dict[str, object]], Optional[Dict[str, object]]]:
+    """Read one side of a comparison.
+
+    Returns ``(records_by_name, env)`` where each record is either a
+    full v1 record or a compact history line, and ``env`` is the
+    side-level fingerprint when the document carries one (per-record
+    fingerprints are used as fallback).
+    """
+    if path.endswith(".jsonl"):
+        return latest_by_name(read_history(path)), None
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, list):
+        records = document
+        env = None
+    elif isinstance(document, Mapping) and document.get("schema") == RUN_SCHEMA:
+        records = document.get("records", [])
+        env = document.get("env")
+    elif isinstance(document, Mapping) and (
+        "name" in document or "benchmark" in document
+    ):
+        # A single record, or a legacy BENCH_*.json view of one.
+        records = [document]
+        env = document.get("env")
+    else:
+        raise ValueError(
+            f"{path}: not a bench run document, record, or history file"
+        )
+    by_name: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        name = record.get("name") or record.get("benchmark")
+        if isinstance(name, str):
+            by_name[name] = dict(record, name=name)
+    return by_name, env
+
+
+def _embedded_spec(record: Mapping[str, object], metric: str) -> Optional[Metric]:
+    """The spec a full v1 record embeds for ``metric``, if any."""
+    entry = record.get("metrics", {}).get(metric)
+    if isinstance(entry, Mapping) and "higher_is_better" in entry:
+        return Metric(
+            unit=str(entry.get("unit", "")),
+            higher_is_better=bool(entry["higher_is_better"]),
+            tolerance=float(entry.get("tolerance", 0.2)),
+            deterministic=bool(entry.get("deterministic", False)),
+        )
+    return None
+
+
+def resolve_spec(
+    benchmark: str,
+    metric: str,
+    current: Mapping[str, object],
+    baseline: Mapping[str, object],
+    registry: Optional[BenchmarkRegistry],
+) -> Metric:
+    """Direction/tolerance for one metric: record → registry → heuristic."""
+    for record in (current, baseline):
+        spec = _embedded_spec(record, metric)
+        if spec is not None:
+            return spec
+    if registry is not None and benchmark in registry:
+        bench = registry.get(benchmark)
+        spec = bench.metric_spec(metric)
+        if spec != Metric() or metric in bench.metrics:
+            return spec
+    lower = any(hint in metric for hint in _LOWER_BETTER_HINTS)
+    return Metric(higher_is_better=not lower)
+
+
+def _worse_by(baseline: float, current: float, higher_is_better: bool) -> float:
+    """Relative worsening (positive = worse) of current vs baseline."""
+    worse = baseline - current if higher_is_better else current - baseline
+    if baseline == 0:
+        return 0.0 if worse == 0 else math.copysign(math.inf, worse)
+    return worse / abs(baseline)
+
+
+def compare(
+    baseline: Mapping[str, Mapping[str, object]],
+    current: Mapping[str, Mapping[str, object]],
+    baseline_env: Optional[Mapping[str, object]] = None,
+    current_env: Optional[Mapping[str, object]] = None,
+    tolerance: Optional[float] = None,
+    registry: Optional[BenchmarkRegistry] = None,
+) -> CompareReport:
+    """Compare two ``{benchmark: record}`` sides; see the module rules."""
+    report = CompareReport()
+    if registry is None:
+        registry = REGISTRY
+    for name in sorted(set(baseline) - set(current)):
+        report.warnings.append(
+            f"benchmark {name!r} is in the baseline but not in the current "
+            f"run; skipped"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        report.warnings.append(
+            f"benchmark {name!r} has no baseline yet; skipped"
+        )
+    if not baseline:
+        report.warnings.append(
+            "baseline is empty — nothing to gate against; every current "
+            "benchmark is skipped"
+        )
+
+    for name in sorted(set(baseline) & set(current)):
+        base_record, cur_record = baseline[name], current[name]
+        if bool(base_record.get("quick", False)) != bool(
+            cur_record.get("quick", False)
+        ):
+            report.warnings.append(
+                f"{name}: baseline and current were run at different scales "
+                f"(quick vs full); not comparable, skipped"
+            )
+            continue
+        env_ok, mismatched = fingerprints_match(
+            base_record.get("env") or baseline_env,
+            cur_record.get("env") or current_env,
+        )
+        if not env_ok:
+            report.warnings.append(
+                f"{name}: environment fingerprints differ "
+                f"({', '.join(mismatched)}); timing metrics are "
+                f"informational, only deterministic metrics gate"
+            )
+        failures = cur_record.get("failures")
+        failure_count = (
+            len(failures) if isinstance(failures, (list, tuple)) else failures
+        )
+        if failure_count:
+            report.warnings.append(
+                f"{name}: current run reported {failure_count} hard "
+                f"failure(s) — see its record; compare gates metrics only"
+            )
+        base_metrics = metric_medians(base_record)
+        cur_metrics = metric_medians(cur_record)
+        for metric in sorted(set(base_metrics) - set(cur_metrics)):
+            report.warnings.append(
+                f"{name}: metric {metric!r} is in the baseline but missing "
+                f"from the current run; skipped"
+            )
+        for metric in sorted(set(cur_metrics) - set(base_metrics)):
+            report.warnings.append(
+                f"{name}: metric {metric!r} has no baseline yet; skipped"
+            )
+        for metric in sorted(set(base_metrics) & set(cur_metrics)):
+            spec = resolve_spec(name, metric, cur_record, base_record, registry)
+            allowed = spec.tolerance if tolerance is None else tolerance
+            worse_by = _worse_by(
+                base_metrics[metric], cur_metrics[metric], spec.higher_is_better
+            )
+            if worse_by > allowed:
+                status = (
+                    "regressed"
+                    if env_ok or spec.deterministic
+                    else "informational"
+                )
+            elif worse_by < 0:
+                status = "improved"
+            else:
+                status = "ok"
+            report.deltas.append(
+                MetricDelta(
+                    benchmark=name,
+                    metric=metric,
+                    baseline=base_metrics[metric],
+                    current=cur_metrics[metric],
+                    worse_by=worse_by,
+                    tolerance=allowed,
+                    status=status,
+                    note=(
+                        ""
+                        if env_ok or spec.deterministic
+                        else "environment mismatch"
+                    ),
+                )
+            )
+    return report
+
+
+def compare_files(
+    baseline_path: str,
+    current_path: str,
+    tolerance: Optional[float] = None,
+    registry: Optional[BenchmarkRegistry] = None,
+) -> CompareReport:
+    """:func:`compare` over two on-disk documents."""
+    baseline, baseline_env = load_side(baseline_path)
+    current, current_env = load_side(current_path)
+    return compare(
+        baseline,
+        current,
+        baseline_env=baseline_env,
+        current_env=current_env,
+        tolerance=tolerance,
+        registry=registry,
+    )

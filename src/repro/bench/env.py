@@ -1,0 +1,75 @@
+"""Environment fingerprints: what machine/toolchain produced a record.
+
+Every bench record carries a fingerprint so ``repro bench compare`` can
+tell which metrics are comparable: deterministic simulation outputs gate
+everywhere, but timings only gate between runs whose fingerprints match
+(same interpreter, platform and CPU budget) — otherwise the comparison
+degrades to a warning instead of a hard failure.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from typing import Dict, List, Optional, Tuple
+
+#: Fingerprint keys that must agree for timings to be comparable.
+#: ``git_sha`` is deliberately excluded: comparing two different
+#: commits is the whole point of a perf gate.
+COMPARABLE_KEYS = ("python", "implementation", "platform", "machine", "cpu_count")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def git_sha() -> Optional[str]:
+    """The current commit's short sha, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def fingerprint() -> Dict[str, object]:
+    """The normalized environment fingerprint of this process."""
+    return {
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "cpu_count": available_cpus(),
+    }
+
+
+def fingerprints_match(
+    baseline: Optional[Dict[str, object]],
+    current: Optional[Dict[str, object]],
+) -> Tuple[bool, List[str]]:
+    """Whether timings are comparable; returns the mismatched keys.
+
+    A missing fingerprint on either side counts as a mismatch of every
+    comparable key (old records predate the schema).
+    """
+    if not baseline or not current:
+        return False, list(COMPARABLE_KEYS)
+    mismatched = [
+        key
+        for key in COMPARABLE_KEYS
+        if baseline.get(key) != current.get(key)
+    ]
+    return not mismatched, mismatched

@@ -1,0 +1,13 @@
+"""Built-in benchmark suites; importing this package registers them.
+
+Modules register into :data:`repro.bench.registry.REGISTRY` at import
+time, so ``from repro.bench import suites`` (what
+:func:`repro.bench.registry.load_suites` does) is all it takes to make
+``repro bench list`` see every built-in benchmark.  Third-party code
+can register additional benchmarks the same way — import order only
+matters in that a name may be registered once.
+"""
+
+from repro.bench.suites import chain_index, chaos, figures, sweep
+
+__all__ = ["chain_index", "chaos", "figures", "sweep"]

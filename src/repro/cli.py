@@ -1,6 +1,7 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Six commands cover the common workflows:
+Seven commands cover the common workflows (docs/CLI.md is the full
+reference):
 
 ``build``
     Run one construction and report the outcome (optionally render the
@@ -23,6 +24,11 @@ Six commands cover the common workflows:
     Run one of the full-scale paper experiments by name.
 ``obs``
     Observability tools over exported traces (``obs summarize``).
+``bench``
+    The benchmark harness (``bench run`` / ``list`` / ``compare``):
+    registry-driven benchmarks with normalized records, an append-only
+    ``BENCH_HISTORY.jsonl`` trajectory and a noise-aware regression
+    gate (see docs/BENCHMARKS.md).
 
 Examples::
 
@@ -31,6 +37,8 @@ Examples::
     python -m repro.cli sweep --families paper --oracles all --workers 4
     python -m repro.cli sweep --families Rand --repeats 10 --faults 'crash@60:0.2'
     python -m repro.cli obs summarize run.jsonl
+    python -m repro.cli bench run --quick --output run.json
+    python -m repro.cli bench compare baseline.json run.json
     python -m repro.cli workload --workload Tf1 --size 120
     python -m repro.cli feasibility --source-fanout 1 "1_1^1 2_1^2 3_2^5 4_1^4 5_0^4"
     python -m repro.cli experiment figure3
@@ -218,6 +226,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render event counts and timing breakdowns of a JSONL trace",
     )
     summarize.add_argument("trace", help="trace file written by build --trace-out")
+
+    from repro.bench.cli import configure_parser as configure_bench_parser
+
+    configure_bench_parser(commands)
     return parser
 
 
@@ -534,6 +546,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "bench":
+        from repro.bench.cli import run_cli as run_bench_cli
+
+        return run_bench_cli(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -13,8 +13,12 @@ Failure semantics:
 * an item whose *simulation* raises is captured worker-side into a
   failed :class:`~repro.par.items.SweepOutcome` naming the item's
   family/seed/config; the sweep continues and the cell is marked failed;
-* a worker *process* that dies outright (or a pool that breaks) is
-  surfaced the same way for every item whose future was lost;
+* a worker *process* that dies outright breaks the whole pool, which
+  would take innocent in-flight items down with it — so every item
+  whose future was lost to a broken pool is retried exactly once in an
+  isolated single-worker pool.  Deterministic work (the only kind a
+  sweep runs) either succeeds there or dies again, in which case the
+  death is surfaced against the one item that caused it;
 * an item that cannot be pickled at all fails **fast**: the pool
   backend pre-flights every item before submitting any work and raises
   :class:`~repro.core.errors.ConfigurationError` naming the poisoned
@@ -34,7 +38,7 @@ import multiprocessing
 import os
 import pickle
 import traceback
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import List, Optional, Sequence
 
 from repro.core.errors import ConfigurationError
@@ -161,30 +165,59 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                 pool.submit(execute_item, item, position, collect_obs, trace_dir)
                 for position, item in enumerate(items)
             ]
-            return [
-                self._item_outcome(item, future)
-                for item, future in zip(items, futures)
+            outcomes = [
+                self._gather(future) for item, future in zip(items, futures)
             ]
+        # A dying worker breaks the pool and voids every in-flight
+        # future, not just the one whose item crashed it.  Retry each
+        # lost item alone in a fresh single-worker pool: collateral
+        # items complete normally, the culprit dies again and is
+        # reported against itself only.
+        for position, (item, outcome) in enumerate(zip(items, outcomes)):
+            if outcome is None:
+                outcomes[position] = self._run_isolated(
+                    item, position, collect_obs, trace_dir
+                )
+        return outcomes
 
     @staticmethod
-    def _item_outcome(item: SweepItem, future: Future) -> SweepOutcome:
+    def _gather(future: Future) -> Optional[SweepOutcome]:
         try:
             return future.result()
-        except Exception as error:  # noqa: BLE001 — e.g. BrokenProcessPool
-            # execute_item never raises, so reaching here means the worker
-            # process itself was lost; report it against the item the
-            # future belonged to and keep the sweep alive.
-            return SweepOutcome(
-                item=item,
-                error=(
-                    f"worker process died running sweep item "
-                    f"({item.describe()}): {type(error).__name__}: {error}"
-                ),
-                traceback=traceback.format_exc(),
+        except Exception:  # noqa: BLE001 — e.g. BrokenProcessPool
+            # execute_item never raises, so reaching here means the
+            # worker process (or the whole pool) was lost; mark the slot
+            # for the isolated retry.
+            return None
+
+    def _run_isolated(
+        self,
+        item: SweepItem,
+        position: int,
+        collect_obs: bool,
+        trace_dir: Optional[str],
+    ) -> SweepOutcome:
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=self._mp_context()
+        ) as pool:
+            future = pool.submit(
+                execute_item, item, position, collect_obs, trace_dir
             )
+            try:
+                return future.result()
+            except Exception as error:  # noqa: BLE001
+                return SweepOutcome(
+                    item=item,
+                    error=(
+                        f"worker process died running sweep item "
+                        f"({item.describe()}): {type(error).__name__}: {error}"
+                    ),
+                    traceback=traceback.format_exc(),
+                )
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[TaskOutcome]:
         self._preflight(tasks, lambda task: f"task {task.describe()}")
+        outcomes: List[Optional[TaskOutcome]] = []
         with ProcessPoolExecutor(
             max_workers=self.workers, mp_context=self._mp_context()
         ) as pool:
@@ -192,15 +225,32 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                 pool.submit(task.fn, *task.args, **dict(task.kwargs))
                 for task in tasks
             ]
-            outcomes: List[TaskOutcome] = []
             for task, future in zip(tasks, futures):
                 try:
                     outcomes.append(
                         TaskOutcome(label=task.describe(), value=future.result())
                     )
+                except BrokenExecutor:
+                    # Pool breakage voids innocent in-flight tasks too;
+                    # mark the slot for an isolated single-worker retry
+                    # (same policy as run()).
+                    outcomes.append(None)
                 except Exception as error:  # noqa: BLE001
                     outcomes.append(_failed_task(task, error))
-            return outcomes
+        for position, (task, outcome) in enumerate(zip(tasks, outcomes)):
+            if outcome is None:
+                outcomes[position] = self._run_task_isolated(task)
+        return outcomes
+
+    def _run_task_isolated(self, task: Task) -> TaskOutcome:
+        with ProcessPoolExecutor(
+            max_workers=1, mp_context=self._mp_context()
+        ) as pool:
+            future = pool.submit(task.fn, *task.args, **dict(task.kwargs))
+            try:
+                return TaskOutcome(label=task.describe(), value=future.result())
+            except Exception as error:  # noqa: BLE001
+                return _failed_task(task, error)
 
 
 def make_executor(workers: Optional[int]) -> SweepExecutor:

@@ -1,0 +1,289 @@
+"""Edge-case tests for ``repro bench compare`` (:mod:`repro.bench.compare`).
+
+The ISSUE's required cases, each pinned here: a metric missing from the
+baseline, an improvement (never a failure), a regression landing
+*exactly* at the threshold (strict ``>`` — still noise), an empty
+history file, and mismatched environment fingerprints (warning, not
+failure, for timing metrics; deterministic metrics still gate).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchmarkRegistry,
+    Metric,
+    compare,
+    compare_files,
+    fingerprint,
+)
+from repro.bench.compare import load_side, resolve_spec
+
+
+def spec_registry() -> BenchmarkRegistry:
+    """A registry whose specs the comparator can fall back to."""
+    registry = BenchmarkRegistry()
+
+    @registry.register(
+        "suite.alpha",
+        metrics={
+            "throughput": Metric(
+                unit="ops/s", higher_is_better=True, tolerance=0.2
+            ),
+            "availability": Metric(
+                higher_is_better=True, tolerance=0.0, deterministic=True
+            ),
+            "seconds": Metric(
+                unit="s", higher_is_better=False, tolerance=0.5
+            ),
+        },
+    )
+    def alpha(ctx):
+        return {}
+
+    return registry
+
+
+def record(
+    name: str,
+    metrics: dict,
+    env: dict | None = None,
+    quick: bool = False,
+    failures: tuple = (),
+) -> dict:
+    """A minimal compact record the comparator accepts."""
+    return {
+        "name": name,
+        "quick": quick,
+        "metrics": dict(metrics),
+        "failures": list(failures),
+        "env": env if env is not None else fingerprint(),
+    }
+
+
+class TestCompareRules:
+    def test_identical_sides_all_ok_exit_zero(self):
+        side = {"suite.alpha": record("suite.alpha", {"throughput": 100.0})}
+        report = compare(side, side, registry=spec_registry())
+        assert report.ok and report.exit_code == 0
+        assert [d.status for d in report.deltas] == ["ok"]
+
+    def test_metric_missing_from_baseline_warns_not_fails(self):
+        baseline = {"suite.alpha": record("suite.alpha", {"throughput": 100.0})}
+        current = {
+            "suite.alpha": record(
+                "suite.alpha", {"throughput": 100.0, "new_metric": 7.0}
+            )
+        }
+        report = compare(baseline, current, registry=spec_registry())
+        assert report.ok
+        assert any(
+            "new_metric" in w and "no baseline" in w for w in report.warnings
+        )
+        # And the mirror image: a retired metric warns too.
+        report = compare(current, baseline, registry=spec_registry())
+        assert report.ok
+        assert any(
+            "new_metric" in w and "missing from the current" in w
+            for w in report.warnings
+        )
+
+    def test_improvement_never_fails_however_large(self):
+        baseline = {"suite.alpha": record("suite.alpha", {"throughput": 100.0})}
+        current = {"suite.alpha": record("suite.alpha", {"throughput": 900.0})}
+        report = compare(baseline, current, registry=spec_registry())
+        assert report.ok
+        assert report.deltas[0].status == "improved"
+        # Lower-is-better improvement counts as improvement too.
+        baseline = {"suite.alpha": record("suite.alpha", {"seconds": 10.0})}
+        current = {"suite.alpha": record("suite.alpha", {"seconds": 1.0})}
+        report = compare(baseline, current, registry=spec_registry())
+        assert report.ok and report.deltas[0].status == "improved"
+
+    def test_regression_exactly_at_threshold_is_noise(self):
+        # throughput tolerance is 0.2: 100 -> 80 is worse by exactly 20%.
+        baseline = {"suite.alpha": record("suite.alpha", {"throughput": 100.0})}
+        current = {"suite.alpha": record("suite.alpha", {"throughput": 80.0})}
+        report = compare(baseline, current, registry=spec_registry())
+        assert report.ok
+        assert report.deltas[0].status == "ok"
+        assert report.deltas[0].worse_by == pytest.approx(0.2)
+        # One hair beyond the threshold regresses.
+        current = {"suite.alpha": record("suite.alpha", {"throughput": 79.9})}
+        report = compare(baseline, current, registry=spec_registry())
+        assert not report.ok and report.exit_code == 1
+        assert report.regressions[0].metric == "throughput"
+
+    def test_zero_tolerance_deterministic_metric_gates_exactly(self):
+        baseline = {
+            "suite.alpha": record("suite.alpha", {"availability": 0.95})
+        }
+        same = {"suite.alpha": record("suite.alpha", {"availability": 0.95})}
+        assert compare(baseline, same, registry=spec_registry()).ok
+        worse = {"suite.alpha": record("suite.alpha", {"availability": 0.94})}
+        report = compare(baseline, worse, registry=spec_registry())
+        assert not report.ok
+
+    def test_env_mismatch_warns_and_downgrades_timing_metrics(self):
+        env_a = fingerprint()
+        env_b = dict(env_a, machine="other-arch", cpu_count=128)
+        baseline = {
+            "suite.alpha": record(
+                "suite.alpha",
+                {"throughput": 100.0, "availability": 0.95},
+                env=env_a,
+            )
+        }
+        current = {
+            "suite.alpha": record(
+                "suite.alpha",
+                {"throughput": 10.0, "availability": 0.95},
+                env=env_b,
+            )
+        }
+        report = compare(baseline, current, registry=spec_registry())
+        # A 10x timing collapse on a different machine: warning, not failure.
+        assert report.ok
+        assert any("fingerprints differ" in w for w in report.warnings)
+        by_metric = {d.metric: d for d in report.deltas}
+        assert by_metric["throughput"].status == "informational"
+        assert by_metric["throughput"].note == "environment mismatch"
+        # But a deterministic metric still gates across machines.
+        current["suite.alpha"]["metrics"]["availability"] = 0.90
+        report = compare(baseline, current, registry=spec_registry())
+        assert not report.ok
+        assert report.regressions[0].metric == "availability"
+
+    def test_one_sided_benchmark_warns_not_fails(self):
+        baseline = {"suite.alpha": record("suite.alpha", {"throughput": 1.0})}
+        current = {"suite.beta": record("suite.beta", {"throughput": 1.0})}
+        report = compare(baseline, current, registry=spec_registry())
+        assert report.ok
+        assert any("'suite.alpha'" in w for w in report.warnings)
+        assert any("'suite.beta'" in w for w in report.warnings)
+
+    def test_quick_vs_full_scale_mismatch_skipped(self):
+        baseline = {
+            "suite.alpha": record("suite.alpha", {"throughput": 100.0})
+        }
+        current = {
+            "suite.alpha": record(
+                "suite.alpha", {"throughput": 1.0}, quick=True
+            )
+        }
+        report = compare(baseline, current, registry=spec_registry())
+        assert report.ok and not report.deltas
+        assert any("different scales" in w for w in report.warnings)
+
+    def test_current_failures_warn(self):
+        side = {"suite.alpha": record("suite.alpha", {"throughput": 1.0})}
+        failing = {
+            "suite.alpha": record(
+                "suite.alpha", {"throughput": 1.0}, failures=("boom",)
+            )
+        }
+        report = compare(side, failing, registry=spec_registry())
+        assert any("hard failure" in w for w in report.warnings)
+
+    def test_tolerance_override_applies_everywhere(self):
+        baseline = {"suite.alpha": record("suite.alpha", {"throughput": 100.0})}
+        current = {"suite.alpha": record("suite.alpha", {"throughput": 95.0})}
+        report = compare(
+            baseline, current, tolerance=0.01, registry=spec_registry()
+        )
+        assert not report.ok
+        report = compare(
+            baseline, current, tolerance=0.10, registry=spec_registry()
+        )
+        assert report.ok
+
+    def test_zero_baseline_directions(self):
+        registry = spec_registry()
+        baseline = {"suite.alpha": record("suite.alpha", {"throughput": 0.0})}
+        same = {"suite.alpha": record("suite.alpha", {"throughput": 0.0})}
+        assert compare(baseline, same, registry=registry).deltas[0].worse_by == 0.0
+        worse = {"suite.alpha": record("suite.alpha", {"throughput": -1.0})}
+        report = compare(baseline, worse, registry=registry)
+        assert not report.ok  # inf worsening
+
+
+class TestCompareFiles:
+    def test_empty_history_file_warns_exit_zero(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        current = tmp_path / "current.json"
+        current.write_text(
+            json.dumps(record("suite.alpha", {"throughput": 1.0}))
+        )
+        report = compare_files(
+            str(empty), str(current), registry=spec_registry()
+        )
+        assert report.ok and report.exit_code == 0
+        assert any("baseline is empty" in w for w in report.warnings)
+
+    def test_history_jsonl_latest_line_wins(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        lines = [
+            record("suite.alpha", {"throughput": 50.0}),
+            record("suite.alpha", {"throughput": 100.0}),
+        ]
+        history.write_text(
+            "".join(json.dumps(line) + "\n" for line in lines)
+        )
+        current = tmp_path / "current.json"
+        current.write_text(
+            json.dumps(record("suite.alpha", {"throughput": 95.0}))
+        )
+        report = compare_files(
+            str(history), str(current), registry=spec_registry()
+        )
+        # Against the latest line (100) a drop to 95 is within 20%.
+        assert report.ok
+        assert report.deltas[0].baseline == 100.0
+
+    def test_legacy_benchmark_key_accepted(self, tmp_path):
+        legacy = record("ignored", {"throughput": 1.0})
+        del legacy["name"]
+        legacy["benchmark"] = "suite.alpha"
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(legacy))
+        by_name, _env = load_side(str(path))
+        assert "suite.alpha" in by_name
+
+    def test_unreadable_side_raises_value_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"no": "recognizable shape"}))
+        with pytest.raises(ValueError, match="bad.json"):
+            load_side(str(bad))
+
+
+class TestResolveSpec:
+    def test_embedded_spec_beats_registry(self):
+        registry = spec_registry()
+        current = {
+            "metrics": {
+                "throughput": {
+                    "median": 1.0,
+                    "higher_is_better": False,
+                    "tolerance": 0.9,
+                    "unit": "x",
+                    "deterministic": True,
+                }
+            }
+        }
+        spec = resolve_spec("suite.alpha", "throughput", current, {}, registry)
+        assert spec.tolerance == 0.9 and spec.higher_is_better is False
+
+    def test_registry_fallback_for_compact_lines(self):
+        registry = spec_registry()
+        spec = resolve_spec("suite.alpha", "seconds", {}, {}, registry)
+        assert spec.higher_is_better is False and spec.tolerance == 0.5
+
+    def test_heuristic_for_unknown_everything(self):
+        spec = resolve_spec("nope", "time_to_recover", {}, {}, None)
+        assert spec.higher_is_better is False
+        spec = resolve_spec("nope", "throughput", {}, {}, None)
+        assert spec.higher_is_better is True

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Check every relative Markdown link in the repository's docs surface.
+
+Scans the root-level ``*.md`` files and ``docs/*.md``, extracts inline
+links and images (``[text](target)``), and verifies:
+
+* relative file targets exist (relative to the linking file);
+* ``#anchor`` and ``file.md#anchor`` fragments resolve to a heading in
+  the target file, using GitHub's slug rules (lowercase, punctuation
+  stripped, spaces to hyphens, ``-1``/``-2`` suffixes for duplicates).
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+this gate must never depend on the network.  Fenced code blocks are
+skipped, so example snippets can show link syntax freely.
+
+Standard library only.  Exit 0 when everything resolves; exit 1
+listing every broken link as ``file:line: message``.
+
+Usage::
+
+    python tools/check_links.py            # from the repository root
+    python tools/check_links.py --root .   # explicit root
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Set, Tuple
+
+#: ``[text](target)`` — text may hold escaped brackets; target stops at
+#: the first unescaped ``)`` (titles like ``(target "x")`` are split off
+#: later).  A leading ``!`` (image) is matched so alt text is not
+#: re-parsed as a nested link.
+_LINK = re.compile(r"!?\[(?:[^\]\\]|\\.)*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+#: GitHub slugging: drop everything but word characters, spaces, and
+#: hyphens (underscores survive as word characters).
+_SLUG_STRIP = re.compile(r"[^\w\- ]", re.UNICODE)
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_MD_EMPHASIS = re.compile(r"[*_]{1,3}(\S(?:.*?\S)?)[*_]{1,3}")
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading's text."""
+    text = _CODE_SPAN.sub(lambda m: m.group(0)[1:-1], heading)
+    text = _MD_EMPHASIS.sub(r"\1", text)
+    text = _LINK.sub(lambda m: m.group(0)[m.group(0).index("[") + 1 :].split("]")[0], text)
+    text = _SLUG_STRIP.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def iter_markdown_lines(path: Path) -> Iterator[Tuple[int, str]]:
+    """(line_number, line) pairs with fenced code blocks removed."""
+    in_fence = False
+    fence_marker = ""
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        stripped = line.lstrip()
+        fence = _FENCE.match(stripped)
+        if fence:
+            marker = fence.group(1)
+            if not in_fence:
+                in_fence, fence_marker = True, marker
+            elif marker[0] == fence_marker[0]:
+                in_fence = False
+            continue
+        if not in_fence:
+            yield number, line
+
+
+def heading_slugs(path: Path) -> Set[str]:
+    """Every anchor the rendered page exposes."""
+    seen: Dict[str, int] = {}
+    slugs: Set[str] = set()
+    for _number, line in iter_markdown_lines(path):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def collect_files(root: Path) -> List[Path]:
+    files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    return [path for path in files if path.is_file()]
+
+
+def check_links(root: Path) -> List[str]:
+    """Every broken link in the docs surface, as ``file:line: message``."""
+    root = root.resolve()
+    errors: List[str] = []
+    slug_cache: Dict[Path, Set[str]] = {}
+
+    def slugs_of(path: Path) -> Set[str]:
+        if path not in slug_cache:
+            slug_cache[path] = heading_slugs(path)
+        return slug_cache[path]
+
+    for source in collect_files(root):
+        rel_source = source.relative_to(root)
+        for number, line in iter_markdown_lines(source):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_SKIP_SCHEMES) or target.startswith("<"):
+                    continue
+                file_part, _, fragment = target.partition("#")
+                if file_part:
+                    resolved = (source.parent / file_part).resolve()
+                    try:
+                        resolved.relative_to(root)
+                    except ValueError:
+                        errors.append(
+                            f"{rel_source}:{number}: link escapes the "
+                            f"repository: {target}"
+                        )
+                        continue
+                    if not resolved.exists():
+                        errors.append(
+                            f"{rel_source}:{number}: broken link: "
+                            f"{target} ({file_part} does not exist)"
+                        )
+                        continue
+                else:
+                    resolved = source
+                if fragment:
+                    if resolved.suffix.lower() != ".md":
+                        continue  # anchors into non-markdown: not checked
+                    if fragment.lower() not in slugs_of(resolved):
+                        errors.append(
+                            f"{rel_source}:{number}: broken anchor: "
+                            f"{target} (no heading slugs to "
+                            f"'#{fragment}' in "
+                            f"{resolved.relative_to(root)})"
+                        )
+    return errors
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="repository root (default: this script's grandparent)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    errors = check_links(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    files = len(collect_files(root))
+    if errors:
+        print(
+            f"check_links: {len(errors)} broken link(s) across {files} "
+            f"file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_links: {files} file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
