@@ -23,7 +23,11 @@ reference):
 ``experiment``
     Run one of the full-scale paper experiments by name.
 ``obs``
-    Observability tools over exported traces (``obs summarize``).
+    Observability tools over exported traces: ``obs summarize`` (event
+    counts, timing and metric breakdowns, ``--kind`` filtering), ``obs
+    report`` (self-contained HTML/markdown report with staleness
+    attribution, health sparklines and critical paths) and ``obs top``
+    (terminal per-round health view).
 ``bench``
     The benchmark harness (``bench run`` / ``list`` / ``compare``):
     registry-driven benchmarks with normalized records, an append-only
@@ -37,6 +41,8 @@ Examples::
     python -m repro.cli sweep --families paper --oracles all --workers 4
     python -m repro.cli sweep --families Rand --repeats 10 --faults 'crash@60:0.2'
     python -m repro.cli obs summarize run.jsonl
+    python -m repro.cli obs report run.jsonl --out report.html
+    python -m repro.cli obs top run.jsonl --tail 15
     python -m repro.cli bench run --quick --output run.json
     python -m repro.cli bench compare baseline.json run.json
     python -m repro.cli workload --workload Tf1 --size 120
@@ -131,8 +137,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         default=None,
         metavar="PATH",
-        help="record every protocol event and write a JSONL trace "
-        "(summarize it with 'repro obs summarize PATH')",
+        help="record every protocol event plus the v2 layers (health "
+        "timeseries, staleness attribution, and — with --deliver — "
+        "feed delivery spans) and write a JSONL trace (explore it with "
+        "'repro obs summarize/report/top PATH')",
     )
 
     sweep = commands.add_parser(
@@ -191,6 +199,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect per-run observability and print the merged "
         "counter registry",
     )
+    sweep.add_argument(
+        "--health",
+        action="store_true",
+        help="keep the flight-recorder health timeseries on in every "
+        "run and print a merged summary",
+    )
 
     workload = commands.add_parser("workload", help="describe a workload")
     workload.add_argument("--workload", default="Rand", choices=family_names())
@@ -226,6 +240,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render event counts and timing breakdowns of a JSONL trace",
     )
     summarize.add_argument("trace", help="trace file written by build --trace-out")
+    summarize.add_argument(
+        "--kind",
+        default=None,
+        metavar="KINDS",
+        help="only count events of these comma-separated kinds "
+        "(e.g. 'detach,attach-accept')",
+    )
+    report = obs_commands.add_parser(
+        "report",
+        help="render a self-contained report (staleness attribution, "
+        "health sparklines, critical paths, fault annotations)",
+    )
+    report.add_argument("trace", help="trace file written by build --trace-out")
+    report.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the report here instead of stdout",
+    )
+    report.add_argument(
+        "--format",
+        default="html",
+        choices=("html", "markdown"),
+        help="report format (default html)",
+    )
+    top = obs_commands.add_parser(
+        "top",
+        help="terminal per-round view of the overlay health timeseries",
+    )
+    top.add_argument("trace", help="trace file written by build --trace-out")
+    top.add_argument(
+        "--tail",
+        type=int,
+        default=20,
+        metavar="N",
+        help="show the last N sampled rounds (default 20; 0 for all)",
+    )
 
     from repro.bench.cli import configure_parser as configure_bench_parser
 
@@ -254,6 +305,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
     protocol = ProtocolConfig(
         source_backoff=args.harden, requeue_stale_referrals=args.harden
     )
+    health_config = None
+    if args.trace_out:
+        from repro.obs import HealthConfig
+
+        health_config = HealthConfig()
     config = SimulationConfig(
         algorithm=args.algorithm,
         oracle=args.oracle,
@@ -266,6 +322,10 @@ def _cmd_build(args: argparse.Namespace) -> int:
         # Fault runs study recovery, so keep running after convergence
         # (otherwise the run would stop before the plan fires).
         stop_at_convergence=faults is None,
+        # A traced run carries the full v2 observability: health
+        # timeseries plus round-domain staleness attribution.
+        health=health_config,
+        attribution=bool(args.trace_out),
     )
     simulation = Simulation(workload, config, probe=probe)
     result = simulation.run()
@@ -304,6 +364,21 @@ def _cmd_build(args: argparse.Namespace) -> int:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(overlay_to_dot(simulation.overlay, workload.name))
         print(f"\nwrote {args.dot}")
+    tracer = None
+    if args.deliver:
+        from repro.feeds import disseminate
+
+        if args.trace_out:
+            from repro.obs import SpanRecorder
+
+            tracer = SpanRecorder()
+        report = disseminate(
+            simulation.overlay, duration=60.0, seed=args.seed, tracer=tracer
+        )
+        print(
+            f"\ndelivery check: {report.satisfied_fraction:.0%} within "
+            f"promise (worst violation {report.worst_violation():+.2f})"
+        )
     if args.trace_out:
         from repro.obs.export import write_trace
 
@@ -319,16 +394,19 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 "seed": args.seed,
                 "rounds": result.rounds_run,
             },
+            health=(
+                simulation.health.records()
+                if simulation.health is not None
+                else None
+            ),
+            spans=tracer.records() if tracer is not None else None,
+            attribution=(
+                simulation.attributor.records()
+                if simulation.attributor is not None
+                else None
+            ),
         )
         print(f"\nwrote {count} events to {args.trace_out}")
-    if args.deliver:
-        from repro.feeds import disseminate
-
-        report = disseminate(simulation.overlay, duration=60.0, seed=args.seed)
-        print(
-            f"\ndelivery check: {report.satisfied_fraction:.0%} within "
-            f"promise (worst violation {report.worst_violation():+.2f})"
-        )
     return 0 if result.converged else 1
 
 
@@ -353,6 +431,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         make_executor,
         median_of_outcomes,
         merge_outcome_counters,
+        merge_outcome_health,
         repeat_items,
     )
 
@@ -394,7 +473,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{'s' if executor.workers != 1 else ''})"
     )
     outcomes = executor.run(
-        items, collect_obs=args.obs, trace_dir=args.trace_dir
+        items,
+        collect_obs=args.obs,
+        trace_dir=args.trace_dir,
+        collect_health=args.health,
     )
     grid = {}
     for index, key in enumerate(keys):
@@ -423,6 +505,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 ["counter", "value"], sorted(merged["counters"].items())
             )
         )
+    if args.health:
+        ring = merge_outcome_health(outcomes)
+        samples = ring.to_list()
+        runs = len({s["sweep_position"] for s in samples})
+        print(
+            f"\nhealth: {len(samples)} samples from {runs} runs "
+            f"held ({ring.dropped} dropped by the flight recorder)"
+        )
+        if samples:
+            last = samples[-1]
+            print(
+                f"last sampled round {last['round']}: "
+                f"online {last['online']}, rooted {last['rooted']}, "
+                f"satisfied {last['satisfied']}, orphans {last['orphans']}"
+            )
     return 1 if failures else 0
 
 
@@ -476,28 +573,48 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_obs(args: argparse.Namespace) -> int:
+def _load_trace(path: str):
+    """Read a trace for the ``obs`` subcommands.
+
+    Returns ``(trace, 0)`` on success or ``(None, 2)`` after printing a
+    one-line diagnostic — missing files, non-JSONL content, and
+    empty/truncated traces all exit 2 instead of raising.
+    """
     import json
 
+    from repro.obs.export import read_trace
+
+    try:
+        trace = read_trace(path)
+    except OSError as error:
+        print(f"error: cannot read trace: {error}", file=sys.stderr)
+        return None, 2
+    except json.JSONDecodeError as error:
+        print(f"error: {path} is not a JSONL trace ({error})", file=sys.stderr)
+        return None, 2
+    if not trace.header and not trace.events and not trace.metrics:
+        print(
+            f"error: {path} is empty or truncated (no trace records found)",
+            file=sys.stderr,
+        )
+        return None, 2
+    return trace, 0
+
+
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
     from repro.obs.export import (
         counter_rows,
         event_count_rows,
         histogram_rows,
         phase_timing_rows,
-        read_trace,
     )
 
-    try:
-        trace = read_trace(args.trace)
-    except OSError as error:
-        print(f"error: cannot read trace: {error}", file=sys.stderr)
-        return 2
-    except json.JSONDecodeError as error:
-        print(
-            f"error: {args.trace} is not a JSONL trace ({error})",
-            file=sys.stderr,
-        )
-        return 2
+    trace, code = _load_trace(args.trace)
+    if trace is None:
+        return code
+    if args.kind:
+        kinds = {chunk.strip() for chunk in args.kind.split(",") if chunk.strip()}
+        trace.events = [event for event in trace.events if event.kind in kinds]
     header = trace.header
     described = ", ".join(
         f"{key}={header[key]}"
@@ -506,7 +623,17 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     )
     if described:
         print(f"trace: {described}")
-    print(f"{len(trace.events)} events over {trace.rounds()} rounds")
+    filtered = f" (kind filter: {args.kind})" if args.kind else ""
+    print(f"{len(trace.events)} events over {trace.rounds()} rounds{filtered}")
+    extras = []
+    if trace.health:
+        extras.append(f"{len(trace.health)} health samples")
+    if trace.spans:
+        extras.append(f"{len(trace.spans)} delivery spans")
+    if trace.attribution:
+        extras.append(f"{len(trace.attribution)} attribution rows")
+    if extras:
+        print("v2 layers: " + ", ".join(extras))
     print()
     print(ascii_table(["event", "count", "per round"], event_count_rows(trace)))
     timing_rows = phase_timing_rows(trace)
@@ -529,6 +656,43 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             ascii_table(["histogram", "count", "mean", "min", "max"], metric_rows)
         )
     return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_html, render_markdown
+
+    trace, code = _load_trace(args.trace)
+    if trace is None:
+        return code
+    render = render_html if args.format == "html" else render_markdown
+    document = render(trace)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(document, end="")
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_top
+
+    trace, code = _load_trace(args.trace)
+    if trace is None:
+        return code
+    print(render_top(trace, tail=args.tail))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "summarize":
+        return _cmd_obs_summarize(args)
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
+    raise AssertionError(f"unhandled obs subcommand {args.obs_command!r}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

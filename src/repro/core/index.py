@@ -44,7 +44,7 @@ in-tree as ``Overlay.walk_*``):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.core.errors import TopologyError
 from repro.core.node import Node
@@ -91,6 +91,12 @@ class ChainIndex:
         #: Monotonic mutation counter; bumped by every hook.  Derived
         #: per-round quantities are cached against it.
         self.version = 0
+        #: Optional dirty set: when armed (a recorder assigns a ``set``),
+        #: every node id whose entry or liveness changed is added — one
+        #: ``set.add`` per node the index traversal already visits, so
+        #: arming it does not change the asymptotics.  Consumers
+        #: (:class:`repro.obs.health.HealthRecorder`) drain and clear it.
+        self.dirty: Optional[Set[int]] = None
         self.rebuild()
 
     # ------------------------------------------------------------------
@@ -114,6 +120,8 @@ class ChainIndex:
     def register(self, node: Node) -> None:
         """Index a newly added node (always parentless: its own root)."""
         self.entries[node.node_id] = _Entry(node, 0)
+        if self.dirty is not None:
+            self.dirty.add(node.node_id)
         self.version += 1
 
     # ------------------------------------------------------------------
@@ -142,6 +150,12 @@ class ChainIndex:
         """
         self.version += 1
 
+    def mark(self, node: Node) -> None:
+        """Note a non-chain change that health aggregates care about
+        (liveness flips, fanout-slack shifts on a parent)."""
+        if self.dirty is not None:
+            self.dirty.add(node.node_id)
+
     def _shift_subtree(self, top: Node, root: Node, delta: int) -> None:
         """Re-root ``top``'s subtree at ``root``, shifting depths by ``delta``.
 
@@ -150,6 +164,7 @@ class ChainIndex:
         "mutations pay at most the size of the moved subtree" cost.
         """
         entries = self.entries
+        dirty = self.dirty
         limit = len(entries)
         seen = 0
         rooted = root.is_source
@@ -165,6 +180,8 @@ class ChainIndex:
             entry.rooted = rooted
             entry.depth += delta
             entry.delay = entry.depth + bias
+            if dirty is not None:
+                dirty.add(node.node_id)
             stack.extend(node.children)
 
     # ------------------------------------------------------------------

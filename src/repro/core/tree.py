@@ -342,6 +342,9 @@ class Overlay:
         child.parent = parent
         parent.children.append(child)
         self.chain_index.on_attach(child, parent)
+        # The subtree shift marked the moved nodes; the parent's fanout
+        # slack changed too, which only the dirty set cares about.
+        self.chain_index.mark(parent)
         self.attach_count += 1
         # Any successful attach ends a source-contact backoff episode
         # (no-op unless backoff is enabled and an episode was running).
@@ -363,6 +366,7 @@ class Overlay:
         parent.children.remove(child)
         child.parent = None
         self.chain_index.on_detach(child)
+        self.chain_index.mark(parent)  # parent regained fanout slack
         self.detach_count += 1
         self.probe.detach(child.node_id, parent.node_id, reason)
         return parent
@@ -413,6 +417,7 @@ class Overlay:
         node.online = False
         self._online.remove(node)
         self.chain_index.touch()
+        self.chain_index.mark(node)  # liveness + fanout slack changed
         node.reset_protocol_state()
         return orphans
 
@@ -423,6 +428,7 @@ class Overlay:
         node.online = True
         insort(self._online, node, key=_BY_NODE_ID)
         self.chain_index.touch()
+        self.chain_index.mark(node)
         node.reset_protocol_state()
 
     # ------------------------------------------------------------------

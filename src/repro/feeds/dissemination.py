@@ -43,6 +43,12 @@ class LagOverDissemination:
         Per-hop forwarding delay, drawn uniformly, as a *fraction of T*;
         the default ``(0.25, 1.0)`` keeps every hop within one delay unit,
         matching the +1-per-hop accounting of §2.1.3.
+    tracer:
+        An optional :class:`~repro.obs.trace.SpanRecorder`; when set,
+        every delivery edge (the direct child's pull, every push hop) is
+        recorded as a span so per-consumer staleness can be decomposed
+        exactly.  The tracer never consumes RNG and never changes what
+        is delivered when.
     """
 
     def __init__(
@@ -53,6 +59,7 @@ class LagOverDissemination:
         pull_period: float = 1.0,
         hop_delay_range: tuple = (0.25, 1.0),
         hop_delay_model=None,
+        tracer=None,
     ) -> None:
         if pull_period <= 0:
             raise ConfigurationError("pull_period must be > 0")
@@ -71,6 +78,7 @@ class LagOverDissemination:
         #: can follow real network distance (see
         #: :func:`repro.locality.distance_hop_delay`).
         self.hop_delay_model = hop_delay_model
+        self.tracer = tracer
         self.scheduler = EventScheduler()
         self.consumers: Dict[int, FeedConsumer] = {
             node.node_id: FeedConsumer(node.node_id)
@@ -106,22 +114,41 @@ class LagOverDissemination:
             items, _ = served
             fresh = consumer.deliver(items, self.scheduler.now)
             if fresh:
+                if self.tracer is not None:
+                    self.tracer.record_pull(
+                        node.node_id, fresh, self.scheduler.now
+                    )
                 self._push_downstream(node, fresh)
         self.scheduler.schedule(self.pull_period, self._pull_loop, node)
 
     def _push_downstream(self, node: Node, items: List[FeedItem]) -> None:
         for child in list(node.children):
             self.scheduler.schedule(
-                self._hop_delay(node, child), self._deliver_push, child, items
+                self._hop_delay(node, child),
+                self._deliver_push,
+                child,
+                items,
+                node.node_id,
+                self.scheduler.now,
             )
 
-    def _deliver_push(self, child: Node, items: List[FeedItem]) -> None:
+    def _deliver_push(
+        self,
+        child: Node,
+        items: List[FeedItem],
+        parent_id: int,
+        sent_at: float,
+    ) -> None:
         if not child.online:
             return
         self.pushes += 1
         consumer = self.consumers[child.node_id]
         fresh = consumer.deliver(items, self.scheduler.now)
         if fresh:
+            if self.tracer is not None:
+                self.tracer.record_push(
+                    parent_id, child.node_id, fresh, sent_at, self.scheduler.now
+                )
             self._push_downstream(child, fresh)
 
     # ------------------------------------------------------------------
@@ -165,11 +192,16 @@ def disseminate(
     duration: float = 50.0,
     seed: int = 0,
     pull_period: float = 1.0,
+    tracer=None,
 ) -> StalenessReport:
     """Convenience one-shot: run dissemination over a built overlay."""
     if source is None:
         source = FeedSource()
     engine = LagOverDissemination(
-        overlay, source, random.Random(seed), pull_period=pull_period
+        overlay,
+        source,
+        random.Random(seed),
+        pull_period=pull_period,
+        tracer=tracer,
     )
     return engine.run(duration)

@@ -1,4 +1,4 @@
-"""Run observability: protocol events, probes, counters, timing, export.
+"""Run observability: events, probes, counters, tracing, health, export.
 
 The measurement substrate for the reproduction.  The protocol stack
 emits structured events through a :class:`Probe`
@@ -6,7 +6,14 @@ emits structured events through a :class:`Probe`
 :class:`RecordingProbe` captures them as typed
 :mod:`repro.obs.events` plus live aggregates, and
 :mod:`repro.obs.export` round-trips traces through JSONL for the
-``repro obs summarize`` CLI.
+``repro obs`` CLI.
+
+The v2 layers build on that substrate: :mod:`repro.obs.trace` gives
+every published update a causal span chain and decomposes each
+consumer's staleness into named components; :mod:`repro.obs.health`
+keeps an O(dirty-set) per-round structural timeseries in a bounded
+flight recorder (:mod:`repro.obs.rings`); :mod:`repro.obs.report`
+renders both as self-contained reports and a terminal ``top`` view.
 """
 
 from repro.obs.counters import (
@@ -14,6 +21,22 @@ from repro.obs.counters import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.health import (
+    HealthConfig,
+    HealthRecorder,
+    HealthSample,
+    sample_from_dict,
+)
+from repro.obs.rings import RingBuffer
+from repro.obs.trace import (
+    FeedAttribution,
+    Span,
+    SpanRecorder,
+    StalenessAttributor,
+    critical_paths,
+    merge_spans,
+    span_from_dict,
 )
 from repro.obs.events import (
     AttachAccept,
@@ -52,7 +75,11 @@ __all__ = [
     "EVENT_TYPES",
     "Event",
     "FaultInjected",
+    "FeedAttribution",
     "Gauge",
+    "HealthConfig",
+    "HealthRecorder",
+    "HealthSample",
     "Histogram",
     "MaintenanceTrigger",
     "MessageDrop",
@@ -67,11 +94,19 @@ __all__ = [
     "RecordingProbe",
     "Recovery",
     "Referral",
+    "RingBuffer",
     "SourceContact",
+    "Span",
+    "SpanRecorder",
     "StaleReferral",
+    "StalenessAttributor",
     "Timeout",
     "Trace",
+    "critical_paths",
     "event_from_dict",
+    "merge_spans",
     "read_trace",
+    "sample_from_dict",
+    "span_from_dict",
     "write_trace",
 ]

@@ -59,15 +59,25 @@ class Histogram:
     per-event hot paths (oracle response sizes, per-round wall-clock).
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "bounds", "bucket_counts", "count", "total", "min", "max",
+        "nondeterministic",
+    )
 
     def __init__(
-        self, name: str, bounds: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        nondeterministic: bool = False,
     ) -> None:
         self.name = name
         self.bounds: Tuple[float, ...] = tuple(bounds or DEFAULT_BUCKETS)
         if list(self.bounds) != sorted(self.bounds):
             raise ValueError(f"histogram {name!r} bounds must be sorted")
+        #: Marks instruments fed from wall clocks or other sources that
+        #: legitimately differ between bit-identical runs
+        #: (``round.wall_clock_s``).  Comparable snapshots drop them.
+        self.nondeterministic = nondeterministic
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
@@ -109,7 +119,7 @@ class Histogram:
         return self.max
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
@@ -118,6 +128,11 @@ class Histogram:
             "bounds": list(self.bounds),
             "bucket_counts": list(self.bucket_counts),
         }
+        # Tagged only when set, so deterministic snapshots keep their
+        # historical byte-for-byte shape.
+        if self.nondeterministic:
+            payload["nondeterministic"] = True
+        return payload
 
     def merge_dict(self, data: Dict[str, Any]) -> None:
         """Fold another histogram's :meth:`as_dict` form into this one.
@@ -174,10 +189,17 @@ class MetricsRegistry:
         return self._gauges[name]
 
     def histogram(
-        self, name: str, bounds: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        nondeterministic: bool = False,
     ) -> Histogram:
         if name not in self._histograms:
-            self._histograms[name] = Histogram(name, bounds)
+            self._histograms[name] = Histogram(name, bounds, nondeterministic)
+        elif nondeterministic:
+            # The tag is sticky: once any creation site declares a name
+            # nondeterministic it stays so for the registry's lifetime.
+            self._histograms[name].nondeterministic = True
         return self._histograms[name]
 
     @property
@@ -209,10 +231,20 @@ class MetricsRegistry:
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
         for name, data in snapshot.get("histograms", {}).items():
-            self.histogram(name, bounds=data.get("bounds")).merge_dict(data)
+            self.histogram(
+                name,
+                bounds=data.get("bounds"),
+                nondeterministic=bool(data.get("nondeterministic")),
+            ).merge_dict(data)
 
-    def snapshot(self) -> Dict[str, Any]:
-        """JSON-ready dump of every instrument, sorted by name."""
+    def snapshot(self, comparable: bool = False) -> Dict[str, Any]:
+        """JSON-ready dump of every instrument, sorted by name.
+
+        ``comparable=True`` drops histograms tagged nondeterministic
+        (wall clocks), leaving a dump that is bit-identical between runs
+        that took the same decisions — the form equality tests and the
+        parallel/serial equivalence guard should compare.
+        """
         return {
             "counters": {
                 name: c.value for name, c in sorted(self._counters.items())
@@ -221,6 +253,8 @@ class MetricsRegistry:
                 name: g.value for name, g in sorted(self._gauges.items())
             },
             "histograms": {
-                name: h.as_dict() for name, h in sorted(self._histograms.items())
+                name: h.as_dict()
+                for name, h in sorted(self._histograms.items())
+                if not (comparable and h.nondeterministic)
             },
         }

@@ -9,11 +9,18 @@ summary needs without replaying the run:
   :class:`repro.obs.timing.PhaseTimings`;
 * ``metric`` — one per instrument of the run's
   :class:`~repro.obs.counters.MetricsRegistry` (counters, gauges,
-  histograms).
+  histograms);
+* ``health-sample`` — one per retained round of the
+  :class:`~repro.obs.health.HealthRecorder` flight recorder;
+* ``span`` — one per delivery edge from a
+  :class:`~repro.obs.trace.SpanRecorder` (feed dissemination);
+* ``staleness`` — one per consumer from a
+  :class:`~repro.obs.trace.StalenessAttributor` (round-domain
+  attribution rows).
 
 Readers skip record kinds they don't know, so the format is
 forward-extensible; ``repro obs summarize run.jsonl`` renders any trace
-written by ``repro build --trace-out run.jsonl``.
+written by ``repro build --trace-out run.jsonl``, old or new.
 """
 
 from __future__ import annotations
@@ -37,6 +44,12 @@ class Trace:
     phase_timings: Dict[str, Dict[str, float]]
     metrics: Dict[str, Dict[str, Any]]
     header: Dict[str, Any]
+    #: ``health-sample`` records, oldest-first (raw dict form).
+    health: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: ``span`` records in write order (raw dict form).
+    spans: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: ``staleness`` attribution rows (raw dict form).
+    attribution: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
 
     def event_counts(self) -> Dict[str, int]:
         """``{kind: count}`` over the trace's events, sorted by kind."""
@@ -56,11 +69,16 @@ def write_trace(
     phase_timings: Optional[Dict[str, Dict[str, float]]] = None,
     registry: Optional[MetricsRegistry] = None,
     header_extra: Optional[Dict[str, Any]] = None,
+    health: Optional[Iterable[Dict[str, Any]]] = None,
+    spans: Optional[Iterable[Dict[str, Any]]] = None,
+    attribution: Optional[Iterable[Dict[str, Any]]] = None,
 ) -> int:
     """Write a JSONL trace; returns the number of event records written.
 
     ``phase_timings`` takes the :meth:`~repro.obs.timing.PhaseTimings.summary`
-    form; ``registry`` contributes one ``metric`` record per instrument.
+    form; ``registry`` contributes one ``metric`` record per instrument;
+    ``health``/``spans``/``attribution`` take already-JSON-ready dicts
+    (each recorder's ``records()`` form, ``kind`` included).
     """
     count = 0
     with open(path, "w", encoding="utf-8") as handle:
@@ -71,6 +89,12 @@ def write_trace(
         for event in events:
             handle.write(json.dumps(event.to_dict()) + "\n")
             count += 1
+        for record in health or ():
+            handle.write(json.dumps(record) + "\n")
+        for record in spans or ():
+            handle.write(json.dumps(record) + "\n")
+        for record in attribution or ():
+            handle.write(json.dumps(record) + "\n")
         for phase, stats in (phase_timings or {}).items():
             record = {"kind": "phase-timing", "phase": phase}
             record.update(stats)
@@ -117,6 +141,9 @@ def read_trace(path: str) -> Trace:
     phase_timings: Dict[str, Dict[str, float]] = {}
     metrics: Dict[str, Dict[str, Any]] = {}
     header: Dict[str, Any] = {}
+    health: List[Dict[str, Any]] = []
+    spans: List[Dict[str, Any]] = []
+    attribution: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -126,6 +153,15 @@ def read_trace(path: str) -> Trace:
             kind = record.get("kind")
             if kind == "trace-header":
                 header = record
+                continue
+            if kind == "health-sample":
+                health.append(record)
+                continue
+            if kind == "span":
+                spans.append(record)
+                continue
+            if kind == "staleness":
+                attribution.append(record)
                 continue
             if kind == "phase-timing":
                 phase = record["phase"]
@@ -147,6 +183,9 @@ def read_trace(path: str) -> Trace:
         phase_timings=phase_timings,
         metrics=metrics,
         header=header,
+        health=health,
+        spans=spans,
+        attribution=attribution,
     )
 
 

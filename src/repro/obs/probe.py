@@ -169,6 +169,10 @@ class RecordingProbe(Probe):
                 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
                 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 10.0,
             ),
+            # Wall time differs between bit-identical runs; tagging it
+            # keeps comparable snapshots (and the parallel/serial
+            # equivalence guard) free of machine noise.
+            nondeterministic=True,
         )
         self._recovery_rounds = self.registry.histogram("recovery.rounds")
 

@@ -1,0 +1,341 @@
+"""Rendering the v2 trace layers: reports, sparklines, the `top` view.
+
+One :class:`~repro.obs.export.Trace` in, three surfaces out:
+
+* :func:`render_markdown` / :func:`render_html` — the ``repro obs
+  report`` artifact: staleness-attribution breakdown, health sparklines,
+  critical delivery paths, fault/recovery annotations.  The HTML form is
+  fully self-contained (inline CSS, no scripts, no external fetches) and
+  embeds **no filesystem paths** — the title comes from the trace
+  header, never from where the file happened to live — so a report can
+  be attached to an issue or archived from CI verbatim.
+* :func:`render_top` — the ``repro obs top`` terminal view: the last k
+  health samples as one row per round, newest last, like watching the
+  overlay's vitals scroll by.
+
+Everything here is pure formatting over already-recorded data; nothing
+imports the simulator.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import ascii_table
+from repro.obs.export import Trace
+from repro.obs.trace import (
+    STALL_BUCKETS,
+    critical_paths,
+    describe_path,
+    span_from_dict,
+)
+
+#: Eight-level block ramp; the classic terminal sparkline alphabet.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: The health series the report charts, in display order.
+HEALTH_SERIES = (
+    "online",
+    "rooted",
+    "satisfied",
+    "orphans",
+    "unrooted",
+    "violation_pressure",
+    "max_depth",
+    "churn_out",
+    "churn_in",
+)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render ``values`` as a block-character sparkline (empty-safe)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return SPARK_CHARS[0] * len(values)
+    scale = (len(SPARK_CHARS) - 1) / (high - low)
+    return "".join(SPARK_CHARS[int((v - low) * scale)] for v in values)
+
+
+# ----------------------------------------------------------------------
+# section builders (shared by markdown and HTML)
+# ----------------------------------------------------------------------
+
+
+def _attribution_rows(trace: Trace, top: int = 10) -> List[List[object]]:
+    """``[node, staleness, depth, *stalls]`` rows, worst first."""
+    rows = []
+    for record in trace.attribution[:top]:
+        rows.append(
+            [record.get("node"), record.get("staleness"), record.get("depth")]
+            + [record.get(bucket, 0) for bucket in STALL_BUCKETS]
+        )
+    return rows
+
+
+def _attribution_totals(trace: Trace) -> Optional[Dict[str, int]]:
+    if not trace.attribution:
+        return None
+    totals = {"staleness": 0, "depth": 0}
+    totals.update({bucket: 0 for bucket in STALL_BUCKETS})
+    for record in trace.attribution:
+        for key in totals:
+            totals[key] += record.get(key, 0)
+    return totals
+
+
+def _health_sparklines(trace: Trace) -> List[Tuple[str, str, float]]:
+    """``(series, sparkline, last_value)`` per charted health series."""
+    if not trace.health:
+        return []
+    out = []
+    for series in HEALTH_SERIES:
+        values = [sample.get(series, 0) for sample in trace.health]
+        if not any(values):
+            continue
+        out.append((series, sparkline(values), values[-1]))
+    return out
+
+
+def _critical_path_lines(trace: Trace, top: int = 5) -> List[str]:
+    spans = [span_from_dict(record) for record in trace.spans]
+    lines = []
+    for staleness, chain in critical_paths(spans, top=top):
+        lines.append(
+            f"item #{chain[0].trace_id}: staleness {staleness:.2f} via "
+            f"{describe_path(chain)}"
+        )
+    return lines
+
+
+def _fault_annotations(trace: Trace) -> List[str]:
+    lines = []
+    for event in trace.events:
+        if event.kind == "fault-injected":
+            lines.append(
+                f"round {event.round}: fault `{event.fault}` "
+                f"(affected {event.affected})"
+            )
+        elif event.kind == "recovery":
+            lines.append(
+                f"round {event.round}: recovered from round "
+                f"{event.fault_round} fault in {event.rounds} rounds"
+            )
+    return lines
+
+
+def _title_of(trace: Trace) -> str:
+    """A report title from header facts only (never the file path)."""
+    header = trace.header
+    parts = []
+    for key in ("workload", "family", "algorithm", "oracle", "seed"):
+        value = header.get(key)
+        if value is not None:
+            parts.append(f"{key}={value}")
+    return "LagOver run report" + (f" ({', '.join(parts)})" if parts else "")
+
+
+# ----------------------------------------------------------------------
+# markdown
+# ----------------------------------------------------------------------
+
+_ATTRIBUTION_HEADERS = ["node", "staleness", "depth"] + list(STALL_BUCKETS)
+
+
+def _md_table(headers: Sequence[str], rows: List[List[object]]) -> str:
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    rule = "|" + "|".join(" --- " for _ in headers) + "|"
+    body = [
+        "| " + " | ".join(str(cell) for cell in row) + " |" for row in rows
+    ]
+    return "\n".join([head, rule] + body)
+
+
+def render_markdown(trace: Trace) -> str:
+    """The full report as GitHub-flavoured markdown."""
+    lines: List[str] = [f"# {_title_of(trace)}", ""]
+    rounds = trace.rounds()
+    lines.append(
+        f"Rounds: {rounds} · events: {len(trace.events)} · "
+        f"health samples: {len(trace.health)} · spans: {len(trace.spans)}"
+    )
+    lines.append("")
+
+    totals = _attribution_totals(trace)
+    if totals is not None:
+        lines.append("## Staleness attribution")
+        lines.append("")
+        total = totals["staleness"] or 1
+        split = " · ".join(
+            f"{key} {totals[key]} ({100 * totals[key] / total:.0f}%)"
+            for key in ("depth",) + STALL_BUCKETS
+        )
+        lines.append(
+            f"Aggregate staleness {totals['staleness']} rounds: {split}"
+        )
+        lines.append("")
+        lines.append("Worst consumers:")
+        lines.append("")
+        lines.append(
+            _md_table(_ATTRIBUTION_HEADERS, _attribution_rows(trace))
+        )
+        lines.append("")
+
+    sparks = _health_sparklines(trace)
+    if sparks:
+        lines.append("## Overlay health")
+        lines.append("")
+        lines.append(
+            _md_table(
+                ["series", "timeline", "last"],
+                [[name, f"`{spark}`", last] for name, spark, last in sparks],
+            )
+        )
+        lines.append("")
+
+    paths = _critical_path_lines(trace)
+    if paths:
+        lines.append("## Critical delivery paths")
+        lines.append("")
+        lines.extend(f"- {line}" for line in paths)
+        lines.append("")
+
+    faults = _fault_annotations(trace)
+    if faults:
+        lines.append("## Fault / recovery annotations")
+        lines.append("")
+        lines.extend(f"- {line}" for line in faults)
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ----------------------------------------------------------------------
+# HTML
+# ----------------------------------------------------------------------
+
+_CSS = (
+    "body{font-family:system-ui,sans-serif;margin:2rem;max-width:60rem}"
+    "table{border-collapse:collapse;margin:0.5rem 0}"
+    "td,th{border:1px solid #999;padding:0.2rem 0.6rem;text-align:right}"
+    "th{background:#eee}td:first-child,th:first-child{text-align:left}"
+    ".spark{font-family:monospace;letter-spacing:0}"
+    "li{margin:0.2rem 0}"
+)
+
+
+def _html_table(
+    headers: Sequence[str], rows: List[List[object]], spark_col: int = -1
+) -> str:
+    parts = ["<table><tr>"]
+    parts.extend(f"<th>{_html.escape(str(h))}</th>" for h in headers)
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        for index, cell in enumerate(row):
+            css = ' class="spark"' if index == spark_col else ""
+            parts.append(f"<td{css}>{_html.escape(str(cell))}</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def render_html(trace: Trace) -> str:
+    """The full report as one self-contained HTML document.
+
+    No scripts, no external references, no filesystem paths — safe to
+    archive from CI or attach anywhere as-is.
+    """
+    title = _html.escape(_title_of(trace))
+    body: List[str] = [f"<h1>{title}</h1>"]
+    body.append(
+        "<p>Rounds: {} · events: {} · health samples: {} · spans: {}</p>".format(
+            trace.rounds(), len(trace.events), len(trace.health), len(trace.spans)
+        )
+    )
+
+    totals = _attribution_totals(trace)
+    if totals is not None:
+        body.append("<h2>Staleness attribution</h2>")
+        total = totals["staleness"] or 1
+        split = " · ".join(
+            f"{key} {totals[key]} ({100 * totals[key] / total:.0f}%)"
+            for key in ("depth",) + STALL_BUCKETS
+        )
+        body.append(
+            f"<p>Aggregate staleness {totals['staleness']} rounds: "
+            f"{_html.escape(split)}</p>"
+        )
+        body.append(
+            _html_table(_ATTRIBUTION_HEADERS, _attribution_rows(trace))
+        )
+
+    sparks = _health_sparklines(trace)
+    if sparks:
+        body.append("<h2>Overlay health</h2>")
+        body.append(
+            _html_table(
+                ["series", "timeline", "last"],
+                [list(row) for row in sparks],
+                spark_col=1,
+            )
+        )
+
+    paths = _critical_path_lines(trace)
+    if paths:
+        body.append("<h2>Critical delivery paths</h2><ul>")
+        body.extend(f"<li>{_html.escape(line)}</li>" for line in paths)
+        body.append("</ul>")
+
+    faults = _fault_annotations(trace)
+    if faults:
+        body.append("<h2>Fault / recovery annotations</h2><ul>")
+        body.extend(f"<li>{_html.escape(line)}</li>" for line in faults)
+        body.append("</ul>")
+
+    return (
+        "<!DOCTYPE html>\n"
+        f'<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{title}</title><style>{_CSS}</style></head>\n"
+        f"<body>{''.join(body)}</body></html>\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# terminal `top` view
+# ----------------------------------------------------------------------
+
+_TOP_COLUMNS = (
+    "round",
+    "online",
+    "rooted",
+    "satisfied",
+    "orphans",
+    "unrooted",
+    "violation_pressure",
+    "max_depth",
+    "churn_out",
+    "churn_in",
+    "attaches",
+    "detaches",
+    "dirty",
+)
+
+
+def render_top(trace: Trace, tail: int = 20) -> str:
+    """The last ``tail`` health samples, one row per round, newest last."""
+    if not trace.health:
+        return "no health samples in trace (re-run with health capture on)"
+    samples = trace.health[-tail:] if tail > 0 else trace.health
+    rows = [
+        [sample.get(column, 0) for column in _TOP_COLUMNS]
+        for sample in samples
+    ]
+    table = ascii_table([c.replace("_", " ") for c in _TOP_COLUMNS], rows)
+    dropped = len(trace.health) - len(samples)
+    if dropped:
+        table += f"\n({dropped} older sample(s) not shown)"
+    return table

@@ -1,0 +1,70 @@
+"""Bounded flight-recorder storage.
+
+Long soaks and N=100k runs cannot afford per-round telemetry that grows
+without bound.  A :class:`RingBuffer` keeps the *last* ``capacity``
+records and counts what it had to forget, so a recorder can stay on for
+a million rounds at constant memory and still answer "what did the last
+k rounds look like" — exactly the flight-recorder posture: you rarely
+need the whole run, you always need the part just before the incident.
+
+The buffer is deliberately dumb: no timestamps, no thread-safety (the
+simulators are single-threaded), no iteration-while-mutating guarantees.
+Eviction returns the displaced record so owners that keep secondary
+indexes (e.g. :class:`repro.obs.trace.SpanRecorder`) can drop their
+references and stay leak-free.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """A fixed-capacity ring: append forever, keep the newest ``capacity``.
+
+    ``dropped`` counts evicted records; ``len(ring)`` is the number
+    currently held; iteration yields oldest-first.
+    """
+
+    __slots__ = ("capacity", "dropped", "_slots", "_next")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._slots: List[T] = []
+        self._next = 0  # index the next append overwrites, once full
+
+    def append(self, item: T) -> Optional[T]:
+        """Add ``item``; returns the record it evicted, if any."""
+        if len(self._slots) < self.capacity:
+            self._slots.append(item)
+            return None
+        evicted = self._slots[self._next]
+        self._slots[self._next] = item
+        self._next = (self._next + 1) % self.capacity
+        self.dropped += 1
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[T]:
+        """Oldest-first iteration over the held records."""
+        if len(self._slots) < self.capacity:
+            yield from self._slots
+            return
+        yield from self._slots[self._next :]
+        yield from self._slots[: self._next]
+
+    def to_list(self) -> List[T]:
+        """The held records, oldest-first."""
+        return list(self)
+
+    def latest(self, count: int) -> List[T]:
+        """The newest ``count`` records, oldest-first."""
+        items = self.to_list()
+        return items[-count:] if count > 0 else []

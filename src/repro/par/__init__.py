@@ -39,6 +39,7 @@ from repro.par.merge import (
     FAILED_RUNS_COUNTER,
     MERGED_RUNS_COUNTER,
     merge_outcome_counters,
+    merge_outcome_health,
 )
 from repro.par.worker import execute_item
 
@@ -57,5 +58,6 @@ __all__ = [
     "make_executor",
     "median_of_outcomes",
     "merge_outcome_counters",
+    "merge_outcome_health",
     "repeat_items",
 ]

@@ -70,6 +70,7 @@ class SweepExecutor:
         items: Sequence[SweepItem],
         collect_obs: bool = False,
         trace_dir: Optional[str] = None,
+        collect_health: bool = False,
     ) -> List[SweepOutcome]:
         """Execute ``items``; outcomes in submission order."""
         raise NotImplementedError
@@ -95,12 +96,15 @@ class SerialExecutor(SweepExecutor):
         items: Sequence[SweepItem],
         collect_obs: bool = False,
         trace_dir: Optional[str] = None,
+        collect_health: bool = False,
     ) -> List[SweepOutcome]:
         if trace_dir is not None:
             os.makedirs(trace_dir, exist_ok=True)
         memo: dict = {}
         return [
-            execute_item(item, position, collect_obs, trace_dir, memo)
+            execute_item(
+                item, position, collect_obs, trace_dir, collect_health, memo
+            )
             for position, item in enumerate(items)
         ]
 
@@ -154,6 +158,7 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         items: Sequence[SweepItem],
         collect_obs: bool = False,
         trace_dir: Optional[str] = None,
+        collect_health: bool = False,
     ) -> List[SweepOutcome]:
         self._preflight(items, lambda item: f"sweep item {item.describe()}")
         if trace_dir is not None:
@@ -162,7 +167,14 @@ class ProcessPoolSweepExecutor(SweepExecutor):
             max_workers=self.workers, mp_context=self._mp_context()
         ) as pool:
             futures = [
-                pool.submit(execute_item, item, position, collect_obs, trace_dir)
+                pool.submit(
+                    execute_item,
+                    item,
+                    position,
+                    collect_obs,
+                    trace_dir,
+                    collect_health,
+                )
                 for position, item in enumerate(items)
             ]
             outcomes = [
@@ -176,7 +188,7 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         for position, (item, outcome) in enumerate(zip(items, outcomes)):
             if outcome is None:
                 outcomes[position] = self._run_isolated(
-                    item, position, collect_obs, trace_dir
+                    item, position, collect_obs, trace_dir, collect_health
                 )
         return outcomes
 
@@ -196,12 +208,18 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         position: int,
         collect_obs: bool,
         trace_dir: Optional[str],
+        collect_health: bool = False,
     ) -> SweepOutcome:
         with ProcessPoolExecutor(
             max_workers=1, mp_context=self._mp_context()
         ) as pool:
             future = pool.submit(
-                execute_item, item, position, collect_obs, trace_dir
+                execute_item,
+                item,
+                position,
+                collect_obs,
+                trace_dir,
+                collect_health,
             )
             try:
                 return future.result()

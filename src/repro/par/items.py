@@ -63,8 +63,10 @@ class SweepOutcome:
     family/seed/config); ``traceback`` carries the worker's full
     traceback text for debugging.  ``counters`` is the run's
     :meth:`~repro.obs.counters.MetricsRegistry.snapshot` when the sweep
-    collected observability, and ``trace_path`` the per-seed JSONL trace
-    when one was written.
+    collected observability, ``health`` the run's flight-recorder
+    samples (``HealthSample.to_dict`` form) when it collected the health
+    timeseries, and ``trace_path`` the per-seed JSONL trace when one was
+    written.
     """
 
     item: SweepItem
@@ -72,6 +74,9 @@ class SweepOutcome:
     error: Optional[str] = None
     traceback: Optional[str] = dataclasses.field(default=None, repr=False)
     counters: Optional[Dict[str, Any]] = dataclasses.field(
+        default=None, repr=False
+    )
+    health: Optional[List[Dict[str, Any]]] = dataclasses.field(
         default=None, repr=False
     )
     trace_path: Optional[str] = None

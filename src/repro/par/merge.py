@@ -8,13 +8,21 @@ _counters` folds those snapshots — in submission order — into one
 registry: counters add, gauges last-write-win, histograms combine
 bucket-for-bucket.  The merged registry is therefore identical whether
 the sweep ran serially or on any number of workers.
+
+:func:`merge_outcome_health` does the same for flight-recorder health
+samples (``collect_health=True``): each run's samples are tagged with
+their item's submission position and seed and concatenated — in
+submission order — into one bounded ring, so a whole sweep's health
+history stays memory-flat and position-deterministic regardless of the
+backend that produced it.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from repro.obs.counters import MetricsRegistry
+from repro.obs.rings import RingBuffer
 from repro.par.items import SweepOutcome
 
 #: Counter recording how many run summaries were folded in.
@@ -43,3 +51,28 @@ def merge_outcome_counters(
         registry.merge_snapshot(outcome.counters)
         registry.counter(MERGED_RUNS_COUNTER).inc()
     return registry
+
+
+def merge_outcome_health(
+    outcomes: Iterable[SweepOutcome],
+    capacity: int = 4096,
+) -> RingBuffer:
+    """One bounded ring holding every outcome's health samples.
+
+    Samples keep their raw ``HealthSample.to_dict`` form, annotated with
+    ``sweep_position`` / ``seed`` so multi-run timeseries stay
+    attributable.  Concatenation follows submission order (the outcomes
+    are already ordered), so serial and pooled sweeps merge identically;
+    the ring bounds memory for arbitrarily large sweeps, oldest samples
+    falling out first.
+    """
+    ring: RingBuffer = RingBuffer(capacity)
+    for position, outcome in enumerate(outcomes):
+        if not outcome.ok or not outcome.health:
+            continue
+        for sample in outcome.health:
+            tagged: Dict[str, Any] = dict(sample)
+            tagged["sweep_position"] = position
+            tagged["seed"] = outcome.item.seed
+            ring.append(tagged)
+    return ring

@@ -58,19 +58,24 @@ def execute_item(
     position: int = 0,
     collect_obs: bool = False,
     trace_dir: Optional[str] = None,
+    collect_health: bool = False,
     memo: Optional[Dict[str, Any]] = None,
 ) -> SweepOutcome:
     """Run one sweep item; always returns (never raises).
 
     With ``collect_obs`` or ``trace_dir`` the run carries a
-    :class:`~repro.obs.probe.RecordingProbe` — probes never consume RNG
-    or change outcomes (the :mod:`repro.obs` invariant), so observed and
-    unobserved sweeps stay bit-identical.  ``position`` is the item's
-    submission index, used only to keep trace filenames unique.
+    :class:`~repro.obs.probe.RecordingProbe`; with ``collect_health``
+    the flight-recorder health timeseries stays on and its samples ride
+    back in ``outcome.health`` (and into the per-seed trace when one is
+    written).  Neither recorder consumes RNG or changes outcomes (the
+    :mod:`repro.obs` invariant), so observed and unobserved sweeps stay
+    bit-identical.  ``position`` is the item's submission index, used
+    only to keep trace filenames unique.
     """
     # Imported here so a pool started with the "spawn" method can still
     # resolve everything after a bare interpreter boot.
     from repro.obs.export import write_trace
+    from repro.obs.health import HealthConfig
     from repro.obs.probe import RecordingProbe
     from repro.sim.runner import Simulation
 
@@ -79,9 +84,16 @@ def execute_item(
     try:
         workload = _workload_for(item, memo)
         config = item.config.with_(seed=item.seed)
+        if collect_health and config.health is None:
+            config = config.with_(health=HealthConfig())
         probe = RecordingProbe() if (collect_obs or trace_dir) else None
         simulation = Simulation(workload, config, probe=probe)
         result = simulation.run()
+        health = (
+            simulation.health.records()
+            if collect_health and simulation.health is not None
+            else None
+        )
         trace_path = None
         if trace_dir is not None:
             trace_path = _trace_path(trace_dir, position, item)
@@ -99,11 +111,13 @@ def execute_item(
                     "workload_seed": item.workload_seed,
                     "rounds": result.rounds_run,
                 },
+                health=health,
             )
         return SweepOutcome(
             item=item,
             result=result,
             counters=probe.registry.snapshot() if collect_obs else None,
+            health=health,
             trace_path=trace_path,
         )
     except Exception as error:  # noqa: BLE001 — the contract is "never raise"

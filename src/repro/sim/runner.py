@@ -28,8 +28,10 @@ from repro.core.tree import Overlay
 from repro.faults.injector import FaultInjector
 from repro.faults.oracle import FaultGatedOracle
 from repro.faults.plan import FaultPlan
+from repro.obs.health import HealthConfig, HealthRecorder
 from repro.obs.probe import NULL_PROBE, Probe
 from repro.obs.timing import PhaseTimings
+from repro.obs.trace import StalenessAttributor
 from repro.oracles.base import ORACLES, Oracle
 from repro.oracles.distributed import realize_oracle
 from repro.sim.asynchrony import AsynchronyConfig, AsynchronyModel
@@ -109,6 +111,15 @@ class SimulationConfig:
         :class:`~repro.obs.probe.NullProbe`.  Probes never consume RNG
         and never change outcomes; they compare by identity, so two
         otherwise-equal configs with distinct probes are unequal.
+    health:
+        A :class:`~repro.obs.health.HealthConfig` to keep the
+        flight-recorder health timeseries on for the run, or ``None``
+        (default) for no capture.  Like probes, the recorder never
+        consumes RNG and never changes outcomes.
+    attribution:
+        Keep a round-domain :class:`~repro.obs.trace.StalenessAttributor`
+        running (per-consumer staleness decomposed into depth and named
+        stall components).  Same never-perturbs contract.
     """
 
     algorithm: str = "greedy"
@@ -123,6 +134,8 @@ class SimulationConfig:
     stop_at_convergence: bool = True
     record_trace: bool = False
     probe: Optional[Probe] = None
+    health: Optional[HealthConfig] = None
+    attribution: bool = False
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -143,6 +156,10 @@ class SimulationConfig:
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
             raise ConfigurationError(
                 f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
+        if self.health is not None and not isinstance(self.health, HealthConfig):
+            raise ConfigurationError(
+                f"health must be a HealthConfig or None, got {self.health!r}"
             )
 
     def with_(self, **changes) -> "SimulationConfig":
@@ -278,6 +295,20 @@ class Simulation:
             else None
         )
         self.trace = OverlayTrace(self.overlay) if config.record_trace else None
+        # v2 observability layers (both read-only; neither consumes RNG).
+        self.health: Optional[HealthRecorder] = (
+            HealthRecorder(self.overlay, config.health)
+            if config.health is not None
+            else None
+        )
+        self.attributor: Optional[StalenessAttributor] = (
+            StalenessAttributor(
+                self.overlay,
+                faults=self.injector.state if self.injector else None,
+            )
+            if config.attribution
+            else None
+        )
         self.now = 0
         self._order_rng = self.streams.get("order")
 
@@ -336,6 +367,12 @@ class Simulation:
             self.metrics.record(self.now, departures=departures, rejoins=rejoins)
             if self.trace is not None:
                 self.trace.capture(self.now)
+            if self.health is not None:
+                self.health.capture(
+                    self.now, departures=departures, rejoins=rejoins
+                )
+            if self.attributor is not None:
+                self.attributor.observe_round(self.now)
         self.probe.end_round(self.now, time.perf_counter() - round_start)
 
     def run(self) -> SimulationResult:

@@ -1,0 +1,259 @@
+"""Tests for the v2 trace reporting surface.
+
+Covers the JSONL round-trip of the new record kinds (health samples,
+delivery spans, attribution rows), the markdown/HTML/terminal
+renderers, the no-absolute-paths rule for shareable reports, and the
+CLI contract: `repro obs ...` exits 2 with a one-line diagnostic —
+never a traceback — on missing/empty/truncated traces.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import AttachAccept, FaultInjected, Recovery, read_trace, write_trace
+from repro.obs.export import Trace
+from repro.obs.report import render_html, render_markdown, render_top, sparkline
+
+HEADER = {"workload": "Rand(n=9,seed=1)", "seed": 1, "algorithm": "hybrid"}
+
+EVENTS = [
+    AttachAccept(round=1, child=3, parent=0),
+    FaultInjected(round=4, fault="mass-crash", affected=2),
+    Recovery(round=7, fault_round=4, rounds=3),
+]
+
+HEALTH = [
+    {
+        "kind": "health-sample",
+        "round": r,
+        "online": 9 - (r % 2),
+        "rooted": 5 + r,
+        "satisfied": 5 + r,
+        "orphans": 1,
+        "unrooted": 3 - (r % 3),
+        "violation_pressure": 2,
+        "max_depth": 4,
+        "depth_hist": {"1": 3, "2": 2},
+        "slack_hist": {"0": 1, "2": 4},
+        "churn_out": r % 2,
+        "churn_in": 0,
+        "attaches": 2,
+        "detaches": 1,
+        "dirty": 4,
+    }
+    for r in range(1, 4)
+]
+
+SPANS = [
+    {"kind": "span", "trace_id": 0, "node": 3, "parent": 0, "hop": "pull",
+     "sent_at": 0.0, "recv_at": 0.5},
+    {"kind": "span", "trace_id": 0, "node": 7, "parent": 3, "hop": "push",
+     "sent_at": 0.75, "recv_at": 1.5},
+]
+
+ATTRIBUTION = [
+    {"kind": "staleness", "round": 3, "node": 7, "staleness": 6, "depth": 2,
+     "fragment_wait": 3, "outage_stall": 0, "backoff_stall": 0,
+     "search_wait": 1},
+    {"kind": "staleness", "round": 3, "node": 3, "staleness": 1, "depth": 1,
+     "fragment_wait": 0, "outage_stall": 0, "backoff_stall": 0,
+     "search_wait": 0},
+]
+
+
+def write_full_trace(path):
+    write_trace(
+        str(path),
+        EVENTS,
+        header_extra=HEADER,
+        health=HEALTH,
+        spans=SPANS,
+        attribution=ATTRIBUTION,
+    )
+
+
+class TestTraceRoundTrip:
+    def test_v2_layers_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_full_trace(path)
+        trace = read_trace(str(path))
+        assert trace.events == EVENTS
+        assert trace.health == HEALTH
+        assert trace.spans == SPANS
+        assert trace.attribution == ATTRIBUTION
+
+    def test_v1_readers_semantics_preserved(self, tmp_path):
+        """A trace without v2 records reads back with empty v2 layers."""
+        path = tmp_path / "v1.jsonl"
+        write_trace(str(path), EVENTS, header_extra=HEADER)
+        trace = read_trace(str(path))
+        assert trace.events == EVENTS
+        assert trace.health == [] and trace.spans == []
+        assert trace.attribution == []
+
+
+class TestSparkline:
+    def test_scales_to_the_block_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_and_empty_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+        assert sparkline([]) == ""
+
+
+def loaded_trace():
+    return Trace(
+        header=dict(HEADER),
+        events=list(EVENTS),
+        phase_timings=[],
+        metrics=[],
+        health=[dict(s) for s in HEALTH],
+        spans=[dict(s) for s in SPANS],
+        attribution=[dict(r) for r in ATTRIBUTION],
+    )
+
+
+class TestRenderers:
+    def test_markdown_carries_every_section(self):
+        text = render_markdown(loaded_trace())
+        assert "## Staleness attribution" in text
+        assert "## Overlay health" in text
+        assert "## Critical delivery paths" in text
+        assert "## Fault / recovery annotations" in text
+        # Worst consumer first, identity visible in the table.
+        assert text.index("| 7 | 6 |") < text.index("| 3 | 1 |")
+        assert "mass-crash" in text
+        assert "recovered" in text or "recovery" in text
+
+    def test_html_is_escaped_and_self_contained(self):
+        trace = loaded_trace()
+        trace.header["workload"] = "Rand<&>(n=9)"
+        text = render_html(trace)
+        assert text.startswith("<!DOCTYPE html>" ) or "<html" in text
+        assert "<style>" in text
+        assert "Rand&lt;&amp;&gt;(n=9)" in text
+        assert "Rand<&>" not in text
+
+    def test_html_embeds_no_absolute_paths(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_full_trace(path)
+        text = render_html(read_trace(str(path)))
+        assert str(tmp_path) not in text
+        assert "file://" not in text
+
+    def test_top_tails_the_health_series(self):
+        text = render_top(loaded_trace(), tail=2)
+        assert "round" in text and "dirty" in text
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert "1 older sample(s) not shown" in text
+        assert not any(line.startswith("1 ") for line in lines)
+
+    def test_renderers_tolerate_a_bare_trace(self):
+        bare = Trace(header={}, events=[], phase_timings=[], metrics=[])
+        assert render_markdown(bare)
+        assert render_html(bare)
+        assert render_top(bare)
+
+
+class TestCliErrorContract:
+    @pytest.mark.parametrize("command", ["summarize", "report", "top"])
+    def test_missing_trace_exits_2(self, tmp_path, capsys, command):
+        code = main(["obs", command, str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("command", ["summarize", "report", "top"])
+    def test_empty_trace_exits_2(self, tmp_path, capsys, command):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        code = main(["obs", command, str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "empty or truncated" in err
+        assert "Traceback" not in err
+
+    def test_garbage_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not json\n")
+        code = main(["obs", "summarize", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "not a JSONL trace" in err
+        assert "Traceback" not in err
+
+
+class TestCliReporting:
+    def build_trace(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "build",
+                "--workload",
+                "Rand",
+                "--size",
+                "40",
+                "--seed",
+                "3",
+                "--churn",
+                "--deliver",
+                "--max-rounds",
+                "40",
+                "--trace-out",
+                str(path),
+            ]
+        )
+        assert code in (0, 1)  # 1 = did not converge; trace still written
+        return path
+
+    def test_report_html_end_to_end(self, tmp_path, capsys):
+        trace = self.build_trace(tmp_path)
+        out = tmp_path / "report.html"
+        assert main(["obs", "report", str(trace), "--out", str(out)]) == 0
+        capsys.readouterr()
+        text = out.read_text()
+        assert "<html" in text
+        assert "Staleness attribution" in text
+        assert str(tmp_path) not in text
+
+    def test_report_markdown_to_stdout(self, tmp_path, capsys):
+        trace = self.build_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "report", str(trace), "--format", "markdown"]) == 0
+        output = capsys.readouterr().out
+        assert "# " in output and "## Overlay health" in output
+
+    def test_top_renders_health_rows(self, tmp_path, capsys):
+        trace = self.build_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "top", str(trace), "--tail", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "round" in output and "rooted" in output
+
+    def test_summarize_reports_v2_inventory_and_kind_filter(
+        self, tmp_path, capsys
+    ):
+        trace = self.build_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert "health samples" in output
+        assert "delivery spans" in output
+        assert "attribution rows" in output
+        assert main(["obs", "summarize", str(trace), "--kind", "detach"]) == 0
+        filtered = capsys.readouterr().out
+        assert "attach-accept" not in filtered
+
+    def test_trace_file_carries_v2_kinds(self, tmp_path):
+        trace = self.build_trace(tmp_path)
+        kinds = set()
+        with open(trace, encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    kinds.add(json.loads(line).get("kind"))
+        assert {"health-sample", "span", "staleness"} <= kinds

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the ``repro obs report`` surface.
+
+Drives the real CLI three times in a temporary directory: a small
+churned + faulted + traced construction run (``repro build
+--trace-out``), the HTML report renderer (``repro obs report``), and
+the terminal view (``repro obs top``).  The generated HTML must:
+
+* parse cleanly under :mod:`html.parser` with a sane tag count;
+* contain the report's structural sections (attribution table, health
+  sparklines, critical delivery path);
+* embed **no absolute paths** — the report is a shareable artifact, so
+  the working directory, home directory, temp-file locations, and
+  ``file://`` URLs must never leak into it.
+
+Standard library only; exit 0 on success, exit 1 listing every failed
+check.  Usage::
+
+    PYTHONPATH=src python tools/obs_report_smoke.py
+"""
+
+from __future__ import annotations
+
+import html.parser
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import List
+
+
+class _TagCounter(html.parser.HTMLParser):
+    """Counts start tags and records parse structure for sanity checks."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.tags = 0
+        self.tables = 0
+
+    def handle_starttag(self, tag: str, attrs: object) -> None:
+        self.tags += 1
+        if tag == "table":
+            self.tables += 1
+
+
+def run_cli(argv: List[str]) -> int:
+    """One in-process CLI invocation (so coverage and imports are shared)."""
+    from repro.cli import main
+
+    return main(argv)
+
+
+def smoke(workdir: Path) -> List[str]:
+    """Run the build → report → top chain; return every failed check."""
+    errors: List[str] = []
+    trace = workdir / "smoke_run.jsonl"
+    report = workdir / "smoke_report.html"
+
+    code = run_cli(
+        [
+            "build",
+            "--workload",
+            "Rand",
+            "--size",
+            "120",
+            "--seed",
+            "7",
+            "--churn",
+            "--faults",
+            "crash@10:0.2:rejoin=15,source-outage@20:6",
+            "--max-rounds",
+            "40",
+            "--deliver",
+            "--trace-out",
+            str(trace),
+        ]
+    )
+    # ``build`` exits 1 for a run that did not converge — routine under
+    # sustained churn + faults, and the trace is fully written either
+    # way.  Only a hard failure (exit >= 2, or no trace) is an error.
+    if code not in (0, 1):
+        return [f"traced build exited {code}"]
+    if not trace.exists() or trace.stat().st_size == 0:
+        return [f"traced build wrote no trace at {trace}"]
+
+    code = run_cli(["obs", "report", str(trace), "--out", str(report)])
+    if code != 0:
+        return [f"obs report exited {code}"]
+    if not report.exists():
+        return [f"obs report wrote no file at {report}"]
+
+    text = report.read_text(encoding="utf-8")
+    parser = _TagCounter()
+    try:
+        parser.feed(text)
+        parser.close()
+    except Exception as exc:  # html.parser is lenient; be explicit anyway
+        errors.append(f"HTML does not parse: {exc}")
+    if parser.tags < 20:
+        errors.append(f"HTML suspiciously small: {parser.tags} tags")
+    if parser.tables < 1:
+        errors.append("HTML has no <table> (attribution section missing?)")
+
+    for needle in ("Staleness attribution", "Overlay health", "Critical delivery paths"):
+        if needle.lower() not in text.lower():
+            errors.append(f"HTML missing expected section text: {needle!r}")
+
+    # The report must be location-independent: nothing about where it
+    # was generated may appear in it.
+    forbidden = {
+        "file://": "file:// URL",
+        str(workdir): "temp working directory",
+        os.getcwd(): "current working directory",
+        str(Path.home()): "home directory",
+    }
+    for fragment, label in forbidden.items():
+        if fragment and fragment != "/" and fragment in text:
+            errors.append(f"HTML embeds absolute path ({label}): {fragment}")
+
+    code = run_cli(["obs", "top", str(trace), "--tail", "5"])
+    if code != 0:
+        errors.append(f"obs top exited {code}")
+    return errors
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="obs_report_smoke_") as tmp:
+        errors = smoke(Path(tmp))
+    for error in errors:
+        print(f"obs_report_smoke: {error}", file=sys.stderr)
+    if errors:
+        print(f"obs_report_smoke: {len(errors)} check(s) failed", file=sys.stderr)
+        return 1
+    print("obs_report_smoke: build -> report -> top all green; HTML parses, no absolute paths")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
