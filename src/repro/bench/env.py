@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import os
 import platform
+import resource
 import subprocess
+import sys
 from typing import Dict, List, Optional, Tuple
 
 #: Fingerprint keys that must agree for timings to be comparable.
@@ -26,6 +28,21 @@ def available_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # non-Linux
         return os.cpu_count() or 1
+
+
+def peak_rss_mb() -> float:
+    """This process's peak resident-set size so far, in MiB.
+
+    Read from ``getrusage`` (no external dependency): the kernel reports
+    the high-water mark in KiB on Linux and bytes on macOS.  The value
+    is monotone over the process lifetime, so a benchmark measuring a
+    workload's footprint should record the peak *after* the workload
+    (the largest workload last, or one process per workload).
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
 
 
 def git_sha() -> Optional[str]:

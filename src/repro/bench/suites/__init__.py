@@ -8,6 +8,13 @@ can register additional benchmarks the same way — import order only
 matters in that a name may be registered once.
 """
 
-from repro.bench.suites import chain_index, chaos, figures, obs_overhead, sweep
+from repro.bench.suites import (
+    chain_index,
+    chaos,
+    figures,
+    obs_overhead,
+    scale,
+    sweep,
+)
 
-__all__ = ["chain_index", "chaos", "figures", "obs_overhead", "sweep"]
+__all__ = ["chain_index", "chaos", "figures", "obs_overhead", "scale", "sweep"]

@@ -93,7 +93,7 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument(
         "--oracle-realization",
         default="omniscient",
-        choices=("omniscient", "dht", "random-walk"),
+        choices=("omniscient", "dht", "sharded", "random-walk"),
     )
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--max-rounds", type=int, default=6000)

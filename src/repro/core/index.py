@@ -47,9 +47,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.core.errors import TopologyError
-from repro.core.node import Node
+from repro.core.node import SOURCE_ID, Node
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import ColumnarState
     from repro.core.tree import Overlay
 
 
@@ -120,6 +121,14 @@ class ChainIndex:
     def register(self, node: Node) -> None:
         """Index a newly added node (always parentless: its own root)."""
         self.entries[node.node_id] = _Entry(node, 0)
+        if self.dirty is not None:
+            self.dirty.add(node.node_id)
+        self.version += 1
+
+    def unregister(self, node: Node) -> None:
+        """Drop a permanently removed node from the index
+        (:meth:`~repro.core.tree.Overlay.remove_consumer`)."""
+        del self.entries[node.node_id]
         if self.dirty is not None:
             self.dirty.add(node.node_id)
         self.version += 1
@@ -247,3 +256,151 @@ class ChainIndex:
                 )
         if len(self.entries) != len(overlay):
             raise TopologyError("chain index tracks nodes not in the overlay")
+
+
+class _ColumnEntry:
+    """Entry facade over the chain columns of one node.
+
+    Same read/write surface as :class:`_Entry` (``root`` / ``depth`` /
+    ``rooted`` / ``delay``, all assignable — the corruption tests poke
+    them directly), but every access lands in the
+    :class:`~repro.core.store.ColumnarState` columns.  The hot
+    incremental maintenance (:meth:`ColumnarChainIndex._shift_subtree`)
+    bypasses the facade and writes the columns directly.
+    """
+
+    __slots__ = ("_store", "_id")
+
+    def __init__(self, store: "ColumnarState", node_id: int) -> None:
+        self._store = store
+        self._id = node_id
+
+    @property
+    def root(self) -> Node:
+        return self._store.nodes[self._store.root[self._id]]
+
+    @root.setter
+    def root(self, value: Node) -> None:
+        self._store.root[self._id] = value.node_id
+
+    @property
+    def depth(self) -> int:
+        return self._store.depth[self._id]
+
+    @depth.setter
+    def depth(self, value: int) -> None:
+        self._store.depth[self._id] = value
+
+    @property
+    def rooted(self) -> bool:
+        return bool(self._store.rooted[self._id])
+
+    @rooted.setter
+    def rooted(self, value: bool) -> None:
+        self._store.rooted[self._id] = 1 if value else 0
+
+    @property
+    def delay(self) -> int:
+        return self._store.delay[self._id]
+
+    @delay.setter
+    def delay(self, value: int) -> None:
+        self._store.delay[self._id] = value
+
+
+class ColumnarChainIndex(ChainIndex):
+    """:class:`ChainIndex` over the chain *columns* of a columnar overlay.
+
+    Identical invalidation algorithm (the four mutation hooks, uniform
+    subtree shifts), but the per-node facts live in the
+    ``root``/``depth``/``rooted``/``delay`` columns of the overlay's
+    :class:`~repro.core.store.ColumnarState` rather than in per-node
+    ``_Entry`` objects.  ``entries`` remains a real dict — of
+    write-through :class:`_ColumnEntry` facades — so every existing
+    reader (the overlay's inlined hot reads, the health recorder, the
+    staleness attributor, the corruption tests) works unchanged on
+    either backend.
+    """
+
+    def __init__(self, overlay: "Overlay", store: "ColumnarState") -> None:
+        self._store = store
+        super().__init__(overlay)
+
+    # ------------------------------------------------------------------
+
+    def _enter(self, node_id: int) -> None:
+        """(Re-)expose one id through the entries facade."""
+        if node_id not in self.entries:
+            self.entries[node_id] = _ColumnEntry(self._store, node_id)
+
+    def rebuild(self) -> None:
+        """Recompute every chain column from the reference walk (O(N·D))."""
+        store = self._store
+        overlay = self._overlay
+        self.entries = {}
+        for node in overlay:
+            i = node.node_id
+            root = overlay.walk_fragment_root(node)
+            depth = overlay.walk_depth(node)
+            rooted = root.is_source
+            store.root[i] = root.node_id
+            store.depth[i] = depth
+            store.rooted[i] = 1 if rooted else 0
+            store.delay[i] = depth if rooted else depth + 1
+            self.entries[i] = _ColumnEntry(store, i)
+        self.version += 1
+
+    def register(self, node: Node) -> None:
+        """Index a newly added node: its own root at depth 0, in columns."""
+        store = self._store
+        i = node.node_id
+        rooted = i == SOURCE_ID
+        store.root[i] = i
+        store.depth[i] = 0
+        store.rooted[i] = 1 if rooted else 0
+        store.delay[i] = 0 if rooted else 1
+        self._enter(i)
+        if self.dirty is not None:
+            self.dirty.add(i)
+        self.version += 1
+
+    # ------------------------------------------------------------------
+
+    def on_attach(self, child: Node, parent: Node) -> None:
+        store = self._store
+        p = parent.node_id
+        self._shift_subtree(child, store.nodes[store.root[p]], store.depth[p] + 1)
+        self.version += 1
+
+    def on_detach(self, child: Node) -> None:
+        self._shift_subtree(child, child, -self._store.depth[child.node_id])
+        self.version += 1
+
+    def _shift_subtree(self, top: Node, root: Node, delta: int) -> None:
+        """Uniform subtree shift, written straight into the columns."""
+        store = self._store
+        root_col = store.root
+        depth_col = store.depth
+        rooted_col = store.rooted
+        delay_col = store.delay
+        dirty = self.dirty
+        limit = len(self.entries)
+        seen = 0
+        root_id = root.node_id
+        rooted = 1 if root_id == SOURCE_ID else 0
+        bias = 0 if rooted else 1
+        stack = [top]
+        while stack:
+            node = stack.pop()
+            seen += 1
+            if seen > limit:
+                raise TopologyError(f"cycle detected under {top!r}")
+            i = node.node_id
+            root_col[i] = root_id
+            rooted_col[i] = rooted
+            depth = depth_col[i] + delta
+            depth_col[i] = depth
+            delay_col[i] = depth + bias
+            if dirty is not None:
+                dirty.add(i)
+            stack.extend(node.children)

@@ -41,16 +41,29 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.constraints import NodeSpec
 from repro.core.errors import (
+    ConfigurationError,
     FanoutExceededError,
     OfflineNodeError,
     TopologyError,
     UnknownNodeError,
 )
-from repro.core.index import ChainIndex
+from repro.core.index import ChainIndex, ColumnarChainIndex
 from repro.core.node import SOURCE_ID, Node, NodeId
+from repro.core.store import NO_PARENT, ColumnarState
 from repro.obs.probe import NULL_PROBE, Probe
 
 _BY_NODE_ID = attrgetter("node_id")
+
+#: Node-state backend used when :class:`Overlay` is built without an
+#: explicit ``backend``.  ``"columnar"`` (the production default) stores
+#: hot node state in the dense column arrays of
+#: :class:`~repro.core.store.ColumnarState`; ``"objects"`` is the
+#: original object-per-node layout, kept as the cross-check path (the
+#: golden-seed guard in ``tests/test_columnar.py`` pins both backends
+#: bit-identical, mirroring the PR 2 ``walk_*`` pattern).
+DEFAULT_BACKEND = "columnar"
+
+_BACKENDS = ("columnar", "objects")
 
 
 class Overlay:
@@ -62,24 +75,48 @@ class Overlay:
     job, and transient violations are part of normal operation (§3.2).
     """
 
-    def __init__(self, source_fanout: int, source_name: str = "0") -> None:
+    def __init__(
+        self,
+        source_fanout: int,
+        source_name: str = "0",
+        backend: Optional[str] = None,
+    ) -> None:
+        if backend is None:
+            backend = DEFAULT_BACKEND
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown overlay backend {backend!r}; choose from {_BACKENDS}"
+            )
+        #: Which node-state layout backs this overlay (``"columnar"`` or
+        #: ``"objects"``); :attr:`store` is ``None`` on the object backend.
+        self.backend = backend
         self._nodes: Dict[NodeId, Node] = {}
         self._next_id: NodeId = SOURCE_ID + 1
-        self.source = Node(
-            node_id=SOURCE_ID,
-            spec=NodeSpec(latency=1, fanout=source_fanout),
-            name=source_name,
-        )
+        source_spec = NodeSpec(latency=1, fanout=source_fanout)
+        if backend == "columnar":
+            self.store: Optional[ColumnarState] = ColumnarState()
+            self.source = self.store.allocate(source_spec, source_name)
+        else:
+            self.store = None
+            self.source = Node(
+                node_id=SOURCE_ID, spec=source_spec, name=source_name
+            )
         self._nodes[SOURCE_ID] = self.source
-        # Incrementally maintained rosters (id order): appending on
-        # add_consumer keeps `_consumers` sorted because ids only grow;
+        # Incrementally maintained rosters (id order): `_consumers` stays
+        # sorted (ids only grow, except on free-list reuse which insorts);
         # `_online` is updated on churn transitions instead of being
         # refiltered O(N) on every access.
         self._consumers: List[Node] = []
         self._online: List[Node] = []
         #: Chain-metadata index: amortized O(1) ``Root``/``DelayAt`` reads,
-        #: kept exact by the four checked mutators below.
-        self.chain_index = ChainIndex(self)
+        #: kept exact by the four checked mutators below.  The columnar
+        #: backend keeps the same metadata in column arrays behind the
+        #: identical ``entries`` read surface.
+        self.chain_index = (
+            ColumnarChainIndex(self, self.store)
+            if self.store is not None
+            else ChainIndex(self)
+        )
         # Per-version cache slot for the shared forest scan of
         # :mod:`repro.core.convergence` (owned by that module).
         self._quality_cache = None
@@ -99,13 +136,47 @@ class Overlay:
 
     def add_consumer(self, spec: NodeSpec, name: str = "") -> Node:
         """Create a new consumer with the given constraints and return it."""
-        node = Node(node_id=self._next_id, spec=spec, name=name)
+        if self.store is not None:
+            node = self.store.allocate(spec, name)
+        else:
+            node = Node(node_id=self._next_id, spec=spec, name=name)
+        self._next_id = max(self._next_id, node.node_id + 1)
         self._nodes[node.node_id] = node
-        self._next_id += 1
-        self._consumers.append(node)
-        self._online.append(node)  # new consumers start online, id is max
+        if self._consumers and node.node_id < self._consumers[-1].node_id:
+            # A recycled id (freed by remove_consumer) lands mid-roster.
+            insort(self._consumers, node, key=_BY_NODE_ID)
+            insort(self._online, node, key=_BY_NODE_ID)
+        else:
+            self._consumers.append(node)
+            self._online.append(node)  # new consumers start online
         self.chain_index.register(node)
         return node
+
+    def remove_consumer(self, node: Node) -> None:
+        """Permanently remove an *offline* consumer, freeing its id.
+
+        This is departure-for-good (a permanently crashed or
+        decommissioned peer), not churn: ordinary churn departures keep
+        their id so a rejoin can never alias another consumer.  On the
+        columnar backend the dense id returns to the allocator's free
+        list and the next :meth:`add_consumer` reuses it (property-tested
+        in ``tests/test_store.py``).
+        """
+        if node not in self:
+            raise UnknownNodeError(f"{node!r} is not in this overlay")
+        if node.is_source:
+            raise TopologyError("the source can never be removed")
+        if node.online:
+            raise OfflineNodeError(
+                f"only offline consumers can be removed, got {node!r}"
+            )
+        if node.parent is not None or node.children:
+            raise TopologyError(f"offline {node!r} still has links")
+        del self._nodes[node.node_id]
+        self._consumers.remove(node)
+        self.chain_index.unregister(node)
+        if self.store is not None:
+            self.store.release(node.node_id)
 
     def add_population(self, specs: Iterable[Tuple[str, NodeSpec]]) -> List[Node]:
         """Add many consumers from ``(name, spec)`` pairs (see
@@ -153,7 +224,20 @@ class Overlay:
         parentless consumer heading the node's fragment (a node with no
         parent is its own root).  Amortized O(1) via the chain index;
         nodes foreign to this overlay fall back to the reference walk.
+
+        On the columnar backend these five readers skip the
+        ``_ColumnEntry`` facade and index the store's columns directly —
+        same cells the facade reads, minus a property call per read (the
+        oracle filter makes millions of them per run).  The ``entries``
+        dict stays the membership test either way, so foreign nodes keep
+        falling back to the walk.
         """
+        store = self.store
+        if store is not None:
+            node_id = node.node_id
+            if node_id in self.chain_index.entries:
+                return store.nodes[store.root[node_id]]
+            return self.walk_fragment_root(node)
         try:
             return self.chain_index.entries[node.node_id].root
         except KeyError:
@@ -161,6 +245,12 @@ class Overlay:
 
     def depth(self, node: Node) -> int:
         """Number of hops from the node to its fragment root (O(1))."""
+        store = self.store
+        if store is not None:
+            node_id = node.node_id
+            if node_id in self.chain_index.entries:
+                return store.depth[node_id]
+            return self.walk_depth(node)
         try:
             return self.chain_index.entries[node.node_id].depth
         except KeyError:
@@ -168,6 +258,12 @@ class Overlay:
 
     def is_rooted(self, node: Node) -> bool:
         """Whether ``Root(node)`` is the source (node 0)."""
+        store = self.store
+        if store is not None:
+            node_id = node.node_id
+            if node_id in self.chain_index.entries:
+                return bool(store.rooted[node_id])
+            return self.walk_is_rooted(node)
         try:
             return self.chain_index.entries[node.node_id].rooted
         except KeyError:
@@ -187,6 +283,12 @@ class Overlay:
         one dict lookup plus one slot load.  The source's own entry
         stores delay 0, so no special case is needed on this path.
         """
+        store = self.store
+        if store is not None:
+            node_id = node.node_id
+            if node_id in self.chain_index.entries:
+                return store.delay[node_id]
+            return self.walk_delay_at(node)
         try:
             return self.chain_index.entries[node.node_id].delay
         except KeyError:
@@ -194,6 +296,14 @@ class Overlay:
 
     def meets_latency(self, node: Node) -> bool:
         """Whether the node is rooted at the source within its constraint."""
+        store = self.store
+        if store is not None:
+            node_id = node.node_id
+            if node_id not in self.chain_index.entries:
+                return self.walk_meets_latency(node)
+            if node.is_source:
+                return True
+            return bool(store.rooted[node_id]) and store.depth[node_id] <= node.latency
         try:
             entry = self.chain_index.entries[node.node_id]
         except KeyError:
@@ -340,6 +450,8 @@ class Overlay:
                 f"{parent!r} has no free fanout (f={parent.fanout})"
             )
         child.parent = parent
+        if self.store is not None:
+            self.store.parent[child.node_id] = parent.node_id
         parent.children.append(child)
         self.chain_index.on_attach(child, parent)
         # The subtree shift marked the moved nodes; the parent's fanout
@@ -365,6 +477,8 @@ class Overlay:
             raise TopologyError(f"{child!r} has no parent to leave")
         parent.children.remove(child)
         child.parent = None
+        if self.store is not None:
+            self.store.parent[child.node_id] = NO_PARENT
         self.chain_index.on_detach(child)
         self.chain_index.mark(parent)  # parent regained fanout slack
         self.detach_count += 1
@@ -405,6 +519,8 @@ class Overlay:
         orphans = list(node.children)
         for child in orphans:
             child.parent = None
+            if self.store is not None:
+                self.store.parent[child.node_id] = NO_PARENT
             self.chain_index.on_detach(child)
             child.rounds_without_parent = 0
             # Not counted in detach_count (orphaning is the departing
@@ -415,6 +531,8 @@ class Overlay:
                 self.probe.referral(child.node_id, grandparent.node_id, reason)
         node.children.clear()
         node.online = False
+        if self.store is not None:
+            self.store.online[node.node_id] = 0
         self._online.remove(node)
         self.chain_index.touch()
         self.chain_index.mark(node)  # liveness + fanout slack changed
@@ -426,6 +544,8 @@ class Overlay:
         if node.online:
             raise OfflineNodeError(f"{node!r} is already online")
         node.online = True
+        if self.store is not None:
+            self.store.online[node.node_id] = 1
         insort(self._online, node, key=_BY_NODE_ID)
         self.chain_index.touch()
         self.chain_index.mark(node)
@@ -461,7 +581,14 @@ class Overlay:
             self.walk_fragment_root(node)  # raises on cycles
         # Cross-validate the incremental structures against ground truth.
         self.chain_index.verify()
-        expected_consumers = [n for n in self._nodes.values() if not n.is_source]
+        if self.store is not None:
+            self.store.verify(self)
+        # Id reuse means the node table's insertion order is not id order;
+        # the rosters' contract is id order, so compare against that.
+        expected_consumers = sorted(
+            (n for n in self._nodes.values() if not n.is_source),
+            key=_BY_NODE_ID,
+        )
         if self._consumers != expected_consumers:
             raise TopologyError("consumer roster diverged from the node table")
         if self._online != [n for n in expected_consumers if n.online]:

@@ -227,8 +227,11 @@ def realize_oracle(
     """Build an oracle by (realization, paper-oracle-name).
 
     ``realization``: ``"omniscient"`` (the default simulation model),
-    ``"dht"`` (directory on Chord; all four oracles), or ``"random-walk"``
-    (gossip walkers; Oracle Random only).
+    ``"dht"`` (directory on Chord; all four oracles), ``"sharded"``
+    (consistent-hash sharded reservoirs with batched per-round draws —
+    the N=100k scale path, all four oracles; see
+    :mod:`repro.oracles.sharded`), or ``"random-walk"`` (gossip walkers;
+    Oracle Random only).
     """
     if realization == "omniscient":
         from repro.oracles.base import make_oracle
@@ -236,6 +239,12 @@ def realize_oracle(
         return make_oracle(oracle_name, overlay, rng)
     if realization == "dht":
         return DhtDirectoryOracle(
+            overlay, rng, filter_mode=_FILTER_BY_ORACLE[oracle_name]
+        )
+    if realization == "sharded":
+        from repro.oracles.sharded import ShardedOracle
+
+        return ShardedOracle(
             overlay, rng, filter_mode=_FILTER_BY_ORACLE[oracle_name]
         )
     if realization == "random-walk":
@@ -247,5 +256,5 @@ def realize_oracle(
         return RandomWalkOracle(overlay, rng)
     raise ConfigurationError(
         f"unknown oracle realization {realization!r}; choose from "
-        "('omniscient', 'dht', 'random-walk')"
+        "('omniscient', 'dht', 'sharded', 'random-walk')"
     )

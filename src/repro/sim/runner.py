@@ -75,8 +75,11 @@ class SimulationConfig:
         One of the names in :data:`repro.oracles.base.ORACLES`.
     oracle_realization:
         ``"omniscient"`` (paper's simulation model, default), ``"dht"``
-        (Chord-hosted directory) or ``"random-walk"`` (gossip walkers,
-        Oracle Random only) — see :mod:`repro.oracles.distributed`.
+        (Chord-hosted directory), ``"sharded"`` (consistent-hash sharded
+        reservoirs with batched per-round draws — the N=100k scale path,
+        see :mod:`repro.oracles.sharded`) or ``"random-walk"`` (gossip
+        walkers, Oracle Random only) — see
+        :mod:`repro.oracles.distributed`.
     protocol:
         Timeout and maintenance tunables (:class:`ProtocolConfig`).
     churn:
@@ -147,7 +150,12 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"unknown oracle {self.oracle!r}; choose from {sorted(ORACLES)}"
             )
-        if self.oracle_realization not in ("omniscient", "dht", "random-walk"):
+        if self.oracle_realization not in (
+            "omniscient",
+            "dht",
+            "sharded",
+            "random-walk",
+        ):
             raise ConfigurationError(
                 f"unknown oracle realization {self.oracle_realization!r}"
             )

@@ -1,0 +1,194 @@
+"""Columnar↔legacy equivalence: the PR 7 golden-seed guard.
+
+The columnar store (:mod:`repro.core.store`) is the default overlay
+backend; the object-per-node layout survives as a cross-check, exactly
+like the ``walk_*`` reference reads guard the chain index.  Seeded
+construction runs must produce bit-identical :class:`SimulationResult`s
+on either backend:
+
+* greedy/hybrid × all four paper oracles, churn on (the PR 2 matrix);
+* the PR 3 fault DSL on top — mass crashes with rejoin, oracle
+  outages, view partitions — for both algorithms;
+* the distributed oracle realizations (DHT directory, sharded
+  directory, random walkers), which read the overlay through the same
+  view surface.
+
+Plus the facade layer: the columnar chain index exposes the same
+``entries`` read/write surface as the legacy index, so targeted
+corruption (what ``tests/test_chain_index.py`` does to the dict
+entries) must behave identically against the column-backed facades.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.tree as tree_module
+from repro.core.constraints import NodeSpec
+from repro.core.index import ColumnarChainIndex
+from repro.core.tree import Overlay
+from repro.faults.plan import parse_fault_plan
+from repro.sim.churn import ChurnConfig
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.workloads.random_workload import rand_workload
+
+ORACLES = (
+    "random",
+    "random-capacity",
+    "random-delay",
+    "random-delay-capacity",
+)
+
+#: PR 3 fault regimes the guard replays on both backends.
+FAULT_PLANS = (
+    "crash@20:0.3:rejoin=10",
+    "leave@15:0.2, crash@40:0.15",
+    "oracle-outage@10:8",
+    "source-outage@25:6",
+    "partition@12:15:2",
+    "stale-view@10:12:4",
+)
+
+
+def run_backend(backend: str, monkeypatch, **config_kwargs):
+    """One seeded run with the overlay backend forced to ``backend``."""
+    workload, _ = rand_workload(size=36, seed=5, source_fanout=3)
+    defaults = dict(
+        algorithm="hybrid",
+        oracle="random-delay",
+        seed=17,
+        max_rounds=120,
+        churn=ChurnConfig(),
+        stop_at_convergence=False,
+    )
+    defaults.update(config_kwargs)
+    config = SimulationConfig(**defaults)
+    with monkeypatch.context() as patched:
+        patched.setattr(tree_module, "DEFAULT_BACKEND", backend)
+        return run_simulation(workload, config)
+
+
+class TestGoldenSeedBackendGuard:
+    """Seeded runs are bit-identical on columnar and object backends."""
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "hybrid"])
+    @pytest.mark.parametrize("oracle", ORACLES)
+    def test_churned_construction_identical(
+        self, algorithm, oracle, monkeypatch
+    ):
+        columnar = run_backend(
+            "columnar", monkeypatch, algorithm=algorithm, oracle=oracle
+        )
+        legacy = run_backend(
+            "objects", monkeypatch, algorithm=algorithm, oracle=oracle
+        )
+        # SimulationResult equality covers convergence round, final
+        # quality, per-round satisfied series and reconfiguration counts.
+        assert columnar == legacy
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "hybrid"])
+    @pytest.mark.parametrize("faults", FAULT_PLANS)
+    def test_faulted_construction_identical(
+        self, algorithm, faults, monkeypatch
+    ):
+        plan = parse_fault_plan(faults)
+        columnar = run_backend(
+            "columnar", monkeypatch, algorithm=algorithm, faults=plan
+        )
+        legacy = run_backend(
+            "objects", monkeypatch, algorithm=algorithm, faults=plan
+        )
+        assert columnar == legacy
+
+    @pytest.mark.parametrize(
+        "realization,oracle",
+        [
+            ("dht", "random-delay"),
+            ("sharded", "random-delay"),
+            ("sharded", "random-delay-capacity"),
+            ("random-walk", "random"),
+        ],
+    )
+    def test_realized_oracles_identical(
+        self, realization, oracle, monkeypatch
+    ):
+        columnar = run_backend(
+            "columnar",
+            monkeypatch,
+            oracle=oracle,
+            oracle_realization=realization,
+        )
+        legacy = run_backend(
+            "objects",
+            monkeypatch,
+            oracle=oracle,
+            oracle_realization=realization,
+        )
+        assert columnar == legacy
+
+    def test_faults_and_sharded_realization_identical(self, monkeypatch):
+        plan = parse_fault_plan("crash@18:0.25:rejoin=8, oracle-outage@30:5")
+        columnar = run_backend(
+            "columnar",
+            monkeypatch,
+            oracle_realization="sharded",
+            faults=plan,
+        )
+        legacy = run_backend(
+            "objects",
+            monkeypatch,
+            oracle_realization="sharded",
+            faults=plan,
+        )
+        assert columnar == legacy
+
+
+class TestBackendSurface:
+    def test_unknown_backend_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Overlay(source_fanout=2, backend="rows")
+
+    def test_objects_backend_has_no_store(self):
+        overlay = Overlay(source_fanout=2, backend="objects")
+        assert overlay.store is None
+        assert not isinstance(overlay.chain_index, ColumnarChainIndex)
+
+    def test_columnar_is_the_default(self):
+        overlay = Overlay(source_fanout=2)
+        assert overlay.backend == tree_module.DEFAULT_BACKEND == "columnar"
+        assert overlay.store is not None
+
+
+class TestColumnEntryFacade:
+    """The columnar index's ``entries`` behave like the legacy dict's."""
+
+    def _overlay(self) -> Overlay:
+        overlay = Overlay(source_fanout=2, backend="columnar")
+        a = overlay.add_consumer(NodeSpec(latency=6, fanout=2), "a")
+        b = overlay.add_consumer(NodeSpec(latency=8, fanout=2), "b")
+        overlay.attach(a, overlay.source)
+        overlay.attach(b, a)
+        return overlay
+
+    def test_reads_match_walks(self):
+        overlay = self._overlay()
+        for node in overlay:
+            entry = overlay.chain_index.entries[node.node_id]
+            assert entry.depth == overlay.walk_depth(node)
+            assert entry.root is overlay.walk_fragment_root(node)
+            assert entry.rooted == overlay.walk_is_rooted(node)
+
+    def test_corrupting_a_facade_is_detected(self):
+        overlay = self._overlay()
+        b = overlay.node(2)
+        overlay.chain_index.entries[b.node_id].depth = 99  # corrupt
+        with pytest.raises(Exception):
+            overlay.check_integrity()
+
+    def test_facade_writes_land_in_columns(self):
+        overlay = self._overlay()
+        b = overlay.node(2)
+        overlay.chain_index.entries[b.node_id].delay = 41
+        assert overlay.store.delay[b.node_id] == 41
