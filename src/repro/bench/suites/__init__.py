@@ -12,9 +12,20 @@ from repro.bench.suites import (
     chain_index,
     chaos,
     figures,
+    multipath,
     obs_overhead,
     scale,
+    stabilize,
     sweep,
 )
 
-__all__ = ["chain_index", "chaos", "figures", "obs_overhead", "scale", "sweep"]
+__all__ = [
+    "chain_index",
+    "chaos",
+    "figures",
+    "multipath",
+    "obs_overhead",
+    "scale",
+    "stabilize",
+    "sweep",
+]

@@ -98,6 +98,15 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--max-rounds", type=int, default=6000)
     build.add_argument(
+        "--paths",
+        type=int,
+        default=1,
+        help="build K upstream-disjoint overlay paths (§7 multipath; "
+        "K>1 splits each consumer's fanout budget across the paths and "
+        "uses the built-in disjointness-enforcing oracle, so --oracle "
+        "and --oracle-realization are ignored)",
+    )
+    build.add_argument(
         "--churn", action="store_true", help="enable the paper's churn model"
     )
     build.add_argument(
@@ -165,6 +174,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--repeats", type=int, default=5)
     sweep.add_argument("--base-seed", type=int, default=0)
     sweep.add_argument("--max-rounds", type=int, default=6000)
+    sweep.add_argument(
+        "--paths",
+        type=int,
+        default=1,
+        help="run every cell as K upstream-disjoint overlay paths "
+        "(K>1 reports the multipath summary result; the oracle column "
+        "then only labels the cell — multipath runs use the built-in "
+        "disjointness-enforcing oracle)",
+    )
     sweep.add_argument(
         "--workers",
         type=int,
@@ -305,6 +323,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
     protocol = ProtocolConfig(
         source_backoff=args.harden, requeue_stale_referrals=args.harden
     )
+    if args.paths > 1:
+        if args.churn:
+            print(
+                "error: --churn is not supported with --paths > 1 "
+                "(multipath membership dynamics come from --faults plans)",
+                file=sys.stderr,
+            )
+            return 2
+        return _build_multipath(args, workload, probe, faults, protocol)
     health_config = None
     if args.trace_out:
         from repro.obs import HealthConfig
@@ -410,6 +437,89 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0 if result.converged else 1
 
 
+def _build_multipath(args, workload, probe, faults, protocol) -> int:
+    """``repro build --paths K``: one multipath system, K>1 overlays."""
+    from repro.multipath import MultipathSystem
+
+    system = MultipathSystem(
+        workload,
+        paths=args.paths,
+        seed=args.seed,
+        protocol=protocol,
+        algorithm=args.algorithm,
+        faults=faults,
+        probe=probe,
+    )
+    system.run(
+        max_rounds=args.max_rounds, stop_at_convergence=faults is None
+    )
+    outcome = system.result()
+    print(
+        ascii_table(
+            [
+                "paths",
+                "converged",
+                "rounds",
+                "delivery avail",
+                "overlap repairs",
+            ],
+            [
+                [
+                    outcome.paths,
+                    outcome.converged,
+                    outcome.construction_rounds,
+                    f"{outcome.delivery_availability:.1%}",
+                    outcome.overlap_repairs,
+                ]
+            ],
+        )
+    )
+    if faults is not None:
+        recover = (
+            outcome.time_to_recover
+            if outcome.time_to_recover is not None
+            else "never"
+        )
+        surviving = ", ".join(
+            f"{paths}p:{rounds}"
+            for paths, rounds in sorted(outcome.paths_surviving.items())
+        )
+        print(
+            ascii_table(
+                ["fault events", "paths surviving (rounds)", "time to recover"],
+                [[outcome.fault_events, surviving or "-", recover]],
+            )
+        )
+    if args.render:
+        for path, overlay in enumerate(system.overlays):
+            print(f"\npath {path}:")
+            print(overlay.render())
+    if args.deliver or args.dot:
+        print(
+            "\nnote: --deliver/--dot are single-overlay features; "
+            "ignored with --paths > 1"
+        )
+    if args.trace_out:
+        from repro.obs.export import write_trace
+
+        count = write_trace(
+            args.trace_out,
+            probe.events,
+            phase_timings={},
+            registry=probe.registry,
+            header_extra={
+                "workload": workload.name,
+                "algorithm": args.algorithm,
+                "oracle": "disjoint-delay",
+                "paths": args.paths,
+                "seed": args.seed,
+                "rounds": outcome.rounds_run,
+            },
+        )
+        print(f"\nwrote {count} events to {args.trace_out}")
+    return 0 if outcome.converged else 1
+
+
 def _parse_sweep_families(text: str) -> List[str]:
     if text == "paper":
         from repro.workloads import PAPER_FAMILIES
@@ -437,6 +547,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     families = _parse_sweep_families(args.families)
     oracles = _parse_sweep_oracles(args.oracles)
+    if args.paths > 1 and args.churn:
+        print(
+            "error: --churn is not supported with --paths > 1 "
+            "(multipath membership dynamics come from --faults plans)",
+            file=sys.stderr,
+        )
+        return 2
     faults = None
     if args.faults:
         from repro.faults import parse_fault_plan
@@ -454,6 +571,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # As in build: fault runs study recovery, so keep running
             # past convergence (otherwise the plan would never fire).
             stop_at_convergence=faults is None,
+            paths=args.paths,
         )
         items.extend(
             repeat_items(

@@ -1,14 +1,18 @@
-"""§7 extension: multipath delivery over multiple LagOvers."""
+"""§7 extension: disjoint multipath delivery over multiple LagOvers."""
 
 from repro.multipath.delivery import (
-    AntiAffinityDelayOracle,
+    DisjointDelayOracle,
+    MultipathResult,
     MultipathSystem,
     ResilienceRow,
     delivery_under_failures,
 )
+from repro.multipath.faults import MultipathFaultInjector
 
 __all__ = [
-    "AntiAffinityDelayOracle",
+    "DisjointDelayOracle",
+    "MultipathFaultInjector",
+    "MultipathResult",
     "MultipathSystem",
     "ResilienceRow",
     "delivery_under_failures",

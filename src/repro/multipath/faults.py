@@ -1,0 +1,76 @@
+"""Fault injection across the k overlays of a multipath system.
+
+A consumer is one physical peer participating in ``k`` LagOvers, so a
+crash must take its node out of *every* path overlay at once — crashing
+it on one path while its twins keep serving the others would model k
+independent populations, not one population with k chains.
+
+:class:`MultipathFaultInjector` reuses the whole PR 3 fault machinery
+(plan parsing, per-round scheduling, rejoin queues, fault windows in the
+shared :class:`~repro.faults.state.FaultState`) by subclassing
+:class:`~repro.faults.injector.FaultInjector` bound to path 0 — victim
+selection, partition side assignment and window bookkeeping all read
+path 0's roster — and overriding only the two liveness transitions to
+mirror them onto every overlay.
+
+This works because the k overlays are built from the same population in
+the same name order, so a node's id is identical across paths (pinned by
+``tests/test_multipath.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.node import Node
+from repro.core.tree import Overlay
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+
+class MultipathFaultInjector(FaultInjector):
+    """One seeded fault plan driving all k path overlays in lockstep."""
+
+    def __init__(
+        self,
+        overlays: Sequence[Overlay],
+        plan: FaultPlan,
+        rng: random.Random,
+        on_fault: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        super().__init__(overlays[0], plan, rng, on_fault)
+        self.overlays: List[Overlay] = list(overlays)
+
+    def _crash(
+        self,
+        now: int,
+        victims: List[Node],
+        graceful: bool,
+        rejoin_after: Optional[int],
+    ) -> None:
+        reason = "leave" if graceful else "crash"
+        for node in victims:
+            for overlay in self.overlays:
+                twin = overlay.node(node.node_id)
+                if twin.online:
+                    overlay.go_offline(twin, graceful=graceful, reason=reason)
+            self.crashes += 1
+        if rejoin_after is not None and victims:
+            self._pending_rejoins.setdefault(now + rejoin_after, []).extend(
+                node.node_id for node in victims
+            )
+
+    def _mass_rejoin(self, now: int, node_ids: List[int]) -> None:
+        revived = 0
+        for node_id in node_ids:
+            if self.overlays[0].node(node_id).online:
+                continue  # came back some other way; don't double-count
+            for overlay in self.overlays:
+                twin = overlay.node(node_id)
+                if not twin.online:
+                    overlay.go_online(twin)
+            self.rejoins += 1
+            revived += 1
+        if revived:
+            self._fired(now, "mass-rejoin", revived)

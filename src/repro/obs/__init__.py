@@ -51,6 +51,8 @@ from repro.obs.events import (
     MaintenanceTrigger,
     MessageDrop,
     MessageSend,
+    MultipathDelivery,
+    MultipathOverlap,
     OracleMiss,
     OracleQuery,
     Recovery,
@@ -84,6 +86,8 @@ __all__ = [
     "MaintenanceTrigger",
     "MessageDrop",
     "MessageSend",
+    "MultipathDelivery",
+    "MultipathOverlap",
     "MetricsRegistry",
     "NULL_PROBE",
     "NullProbe",

@@ -260,6 +260,37 @@ class Recovery(Event):
     rounds: int
 
 
+@dataclasses.dataclass(frozen=True)
+class MultipathOverlap(Event):
+    """A consumer's delivery chains were found sharing upstream nodes.
+
+    Multipath maintenance detected ``shared`` common interior names
+    between the consumer's chain on ``path_kept`` and its chain on
+    ``path_detached`` and severed the higher-index path so the
+    disjointness guarantee is restored (the consumer re-attaches through
+    the disjointness-enforcing edge policy)."""
+
+    kind: ClassVar[str] = "multipath-overlap"
+
+    node: int
+    path_kept: int
+    path_detached: int
+    shared: int
+
+
+@dataclasses.dataclass(frozen=True)
+class MultipathDelivery(Event):
+    """Per-round multipath delivery sample: of ``online`` consumers,
+    ``delivered`` currently hold at least one rooted chain across the
+    system's ``paths`` overlays."""
+
+    kind: ClassVar[str] = "multipath-delivery"
+
+    delivered: int
+    online: int
+    paths: int
+
+
 #: Registry of all event types by their wire ``kind``.
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -281,6 +312,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         Backoff,
         FaultInjected,
         Recovery,
+        MultipathOverlap,
+        MultipathDelivery,
     )
 }
 

@@ -35,6 +35,8 @@ from repro.obs.events import (
     MaintenanceTrigger,
     MessageDrop,
     MessageSend,
+    MultipathDelivery,
+    MultipathOverlap,
     OracleMiss,
     OracleQuery,
     Recovery,
@@ -131,6 +133,18 @@ class Probe:
     def recovery(self, fault_round: int, rounds: int) -> None:
         """The overlay re-converged ``rounds`` rounds after the fault of
         round ``fault_round``."""
+
+    def multipath_overlap(
+        self, node: int, path_kept: int, path_detached: int, shared: int
+    ) -> None:
+        """Multipath maintenance severed an overlapping chain (see
+        :class:`MultipathOverlap`)."""
+
+    def multipath_delivery(
+        self, delivered: int, online: int, paths: int
+    ) -> None:
+        """Per-round multipath delivery sample (see
+        :class:`MultipathDelivery`)."""
 
 
 class NullProbe(Probe):
@@ -319,6 +333,32 @@ class RecordingProbe(Probe):
             Recovery(round=self._round, fault_round=fault_round, rounds=rounds)
         )
         self._recovery_rounds.observe(rounds)
+
+    def multipath_overlap(
+        self, node: int, path_kept: int, path_detached: int, shared: int
+    ) -> None:
+        self._record(
+            MultipathOverlap(
+                round=self._round,
+                node=node,
+                path_kept=path_kept,
+                path_detached=path_detached,
+                shared=shared,
+            )
+        )
+        self.registry.counter("multipath.overlap_repairs").inc()
+
+    def multipath_delivery(
+        self, delivered: int, online: int, paths: int
+    ) -> None:
+        self._record(
+            MultipathDelivery(
+                round=self._round,
+                delivered=delivered,
+                online=online,
+                paths=paths,
+            )
+        )
 
     # --- convenience ------------------------------------------------------
 

@@ -16,8 +16,10 @@ N=10^5.  This module is the scale path:
 * partner draws are **batched per round**: at round start each shard
   draws one batch from its reservoir (*one* RNG call per shard per
   round — replacing the per-node draws of every other realization), and
-  every query that round is served by scanning the enquirer's home-shard
-  batch from a rotating cursor.  Because queries consume no RNG, a
+  every query that round is served by scanning the batches in a
+  round-rotated shard order (home shard first, offset by the round
+  number) from per-shard rotating cursors.  Because queries consume no
+  RNG, a
   requeued query (the stale-referral hardening of
   :class:`~repro.core.protocol.ProtocolConfig`) reuses the round's batch
   instead of re-sampling the directory;
@@ -135,6 +137,8 @@ class ShardedDirectory:
         self._known_online: Set[int] = set()
         self._batches: List[List[ShardRecord]] = [[] for _ in range(shards)]
         self._cursors: List[int] = [0] * shards
+        #: Round counter driving the serve-order rotation (see ``serve``).
+        self._round = 0
         #: Total members migrated by cross-shard rebalances.
         self.rebalanced = 0
 
@@ -171,6 +175,7 @@ class ShardedDirectory:
 
     def on_round(self, now: int) -> None:
         """Round upkeep: membership sync, rebalance, one draw per shard."""
+        self._round = now
         online_now = {n.node_id for n in self.overlay._online}
         joined = online_now - self._known_online
         departed = self._known_online - online_now
@@ -242,26 +247,43 @@ class ShardedDirectory:
     # ------------------------------------------------------------------
 
     def serve(self, enquirer: Node, passes) -> Optional[ShardRecord]:
-        """Next record of the enquirer's home-shard batch accepted by
-        ``passes``, scanning from the shard's rotating cursor (RNG-free);
-        ``None`` when the batch holds no acceptable candidate."""
-        shard = self.shard_of(enquirer.node_id)
-        batch = self._batches[shard]
-        size = len(batch)
-        if size == 0:
-            return None
-        cursor = self._cursors[shard]
+        """First record accepted by ``passes``, scanning shards in a
+        round-rotated order starting near the enquirer's home shard.
+
+        The scan starts at ``(home + round) % n_shards`` and wraps over
+        every shard, reading each shard's batch from its own rotating
+        cursor.  The rotation is what makes small populations safe: with
+        few members per shard an enquirer's home batch can permanently
+        hold only itself or its own descendants (a livelock — every
+        query forever returns the same useless answer), but rotating the
+        start shard guarantees every enquirer fronts every shard within
+        ``n_shards`` rounds.  Deterministic and RNG-free, like the
+        cursor scheme it extends; at N=100k scale the home batch almost
+        always serves the answer on the first probe, so the extra shards
+        are rarely touched."""
+        home = self.shard_of(enquirer.node_id)
+        n_shards = self.n_shards
         enquirer_id = enquirer.node_id
-        for offset in range(size):
-            index = cursor + offset
-            if index >= size:
-                index -= size
-            record = batch[index]
-            if record.node_id == enquirer_id:
+        start = (home + self._round) % n_shards
+        for step in range(n_shards):
+            shard = start + step
+            if shard >= n_shards:
+                shard -= n_shards
+            batch = self._batches[shard]
+            size = len(batch)
+            if size == 0:
                 continue
-            if passes(record):
-                self._cursors[shard] = (index + 1) % size
-                return record
+            cursor = self._cursors[shard]
+            for offset in range(size):
+                index = cursor + offset
+                if index >= size:
+                    index -= size
+                record = batch[index]
+                if record.node_id == enquirer_id:
+                    continue
+                if passes(record):
+                    self._cursors[shard] = (index + 1) % size
+                    return record
         return None
 
     def batch_sizes(self) -> List[int]:

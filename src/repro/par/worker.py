@@ -71,6 +71,13 @@ def execute_item(
     :mod:`repro.obs` invariant), so observed and unobserved sweeps stay
     bit-identical.  ``position`` is the item's submission index, used
     only to keep trace filenames unique.
+
+    ``config.paths > 1`` routes the item through
+    :class:`~repro.multipath.delivery.MultipathSystem` and reports its
+    :meth:`~repro.multipath.delivery.MultipathSystem.summary_result`
+    (worst-path quality, summed traffic counters, delivery-availability
+    metrics); the flight-recorder health timeseries is single-overlay
+    machinery and stays off for multipath items.
     """
     # Imported here so a pool started with the "spawn" method can still
     # resolve everything after a bare interpreter boot.
@@ -84,23 +91,44 @@ def execute_item(
     try:
         workload = _workload_for(item, memo)
         config = item.config.with_(seed=item.seed)
-        if collect_health and config.health is None:
+        if collect_health and config.health is None and config.paths == 1:
             config = config.with_(health=HealthConfig())
         probe = RecordingProbe() if (collect_obs or trace_dir) else None
-        simulation = Simulation(workload, config, probe=probe)
-        result = simulation.run()
-        health = (
-            simulation.health.records()
-            if collect_health and simulation.health is not None
-            else None
-        )
+        if config.paths > 1:
+            from repro.multipath.delivery import MultipathSystem
+
+            system = MultipathSystem(
+                workload,
+                paths=config.paths,
+                seed=config.seed,
+                protocol=config.protocol,
+                algorithm=config.algorithm,
+                faults=config.faults,
+                probe=probe,
+            )
+            system.run(
+                max_rounds=config.max_rounds,
+                stop_at_convergence=config.stop_at_convergence,
+            )
+            result = system.summary_result()
+            phase_timings: Dict[str, Dict[str, float]] = {}
+            health = None
+        else:
+            simulation = Simulation(workload, config, probe=probe)
+            result = simulation.run()
+            phase_timings = simulation.timings.summary()
+            health = (
+                simulation.health.records()
+                if collect_health and simulation.health is not None
+                else None
+            )
         trace_path = None
         if trace_dir is not None:
             trace_path = _trace_path(trace_dir, position, item)
             write_trace(
                 trace_path,
                 probe.events,
-                phase_timings=simulation.timings.summary(),
+                phase_timings=phase_timings,
                 registry=probe.registry,
                 header_extra={
                     "workload": workload.name,

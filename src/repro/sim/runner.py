@@ -123,6 +123,15 @@ class SimulationConfig:
         Keep a round-domain :class:`~repro.obs.trace.StalenessAttributor`
         running (per-consumer staleness decomposed into depth and named
         stall components).  Same never-perturbs contract.
+    paths:
+        Number of upstream-disjoint overlay paths to build (§7
+        multipath).  ``1`` (default) is the ordinary single-overlay run;
+        ``>1`` routes the run through
+        :class:`repro.multipath.delivery.MultipathSystem`, which splits
+        each consumer's fanout budget across the paths and enforces
+        upstream disjointness at attach time.  The sweep worker reports
+        a multipath run through
+        :meth:`~repro.multipath.delivery.MultipathSystem.summary_result`.
     """
 
     algorithm: str = "greedy"
@@ -139,6 +148,7 @@ class SimulationConfig:
     probe: Optional[Probe] = None
     health: Optional[HealthConfig] = None
     attribution: bool = False
+    paths: int = 1
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -169,6 +179,8 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"health must be a HealthConfig or None, got {self.health!r}"
             )
+        if self.paths < 1:
+            raise ConfigurationError("paths must be >= 1")
 
     def with_(self, **changes) -> "SimulationConfig":
         """A copy with the given fields replaced (sweep convenience)."""

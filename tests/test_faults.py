@@ -39,6 +39,7 @@ from repro.faults import (
 )
 from repro.obs import RecordingProbe
 from repro.oracles.base import RandomDelayOracle
+from repro.oracles.sharded import ShardedOracle
 from repro.sim.churn import ChurnConfig
 from repro.sim.runner import Simulation, SimulationConfig, run_simulation
 from repro.workloads import make
@@ -374,6 +375,119 @@ class TestFaultGatedOracle:
         for node in nodes:
             assert overlay.delay_at(node) >= tight.latency
         assert gated.sample(tight) is None  # nobody passes delay < 1
+
+
+# ----------------------------------------------------------------------
+# fault gating × the sharded realization
+# ----------------------------------------------------------------------
+
+
+class TestShardedFaultGating:
+    """Regression: fault windows must gate the *sharded* realization too.
+
+    The gate composes structurally (the runner wraps whatever
+    ``realize_oracle`` returns), but the sharded oracle is the only one
+    that answers from batched directory records — these tests pin that
+    outage, stale-view, and partition semantics survive the indirection:
+    the stale path must read ``ShardedOracle.filter_mode`` (the name
+    ``sharded-delay`` is not in the name→filter table), and the
+    partition path must fall back to :meth:`ShardedOracle.admits`, the
+    live-value filter that bypasses the batches.
+    """
+
+    def _setup(self, n=12, history=0, rounds=3):
+        overlay = Overlay(source_fanout=2)
+        nodes = [overlay.add_consumer(spec(6, 2), f"n{i}") for i in range(n)]
+        inner = ShardedOracle(overlay, random.Random(3), filter_mode="delay")
+        state = FaultState()
+        gated = FaultGatedOracle(
+            inner, overlay, state, random.Random(7), history=history
+        )
+        for now in range(1, rounds + 1):
+            state.now = now
+            gated.on_round(now)  # registers members and draws batches
+        return overlay, nodes, inner, state, gated
+
+    def test_batched_serving_without_faults(self):
+        overlay, nodes, inner, state, gated = self._setup()
+        partner = gated.sample(nodes[0])
+        assert partner is not None and inner.hits == 1
+        assert gated.name == inner.name == "sharded-delay"
+
+    def test_outage_refuses_sharded_queries(self):
+        overlay, nodes, inner, state, gated = self._setup()
+        state.now, state.oracle_down_until = 5, 10
+        assert gated.sample(nodes[0]) is None
+        assert inner.misses == 1 and inner.hits == 0
+
+    def test_batched_serving_resumes_after_outage(self):
+        overlay, nodes, inner, state, gated = self._setup()
+        state.now, state.oracle_down_until = 5, 10
+        assert gated.sample(nodes[0]) is None
+        state.now = 10  # the window is half-open: down rounds are 5..9
+        assert gated.sample(nodes[0]) is not None
+        assert inner.hits == 1 and inner.misses == 1
+
+    def test_stale_view_serves_a_departed_peer(self):
+        overlay, nodes, inner, state, gated = self._setup(history=5, rounds=0)
+        victim = nodes[1]
+        for extra in nodes[2:]:
+            overlay.go_offline(extra)  # snapshot will hold only n0 and n1
+        for now in range(1, 4):
+            state.now = now
+            gated.on_round(now)
+        overlay.go_offline(victim)
+        state.now, state.stale_until, state.staleness = 4, 10, 3
+        answer = gated.sample(nodes[0])
+        assert answer is victim  # the stale view still lists it
+        assert not answer.online
+        assert gated.stale_answers == 1
+
+    def test_stale_view_reads_the_sharded_filter_mode(self):
+        overlay, nodes, inner, state, gated = self._setup(history=5, rounds=0)
+        # Chain everyone so every recorded delay violates tight's l=1.
+        tight = overlay.add_consumer(spec(1, 2), "tight")
+        overlay.attach(nodes[0], overlay.source)
+        for child, parent in zip(nodes[1:], nodes[:-1]):
+            overlay.attach(child, parent)
+        state.now = 1
+        gated.on_round(1)
+        state.now, state.stale_until, state.staleness = 2, 10, 1
+        # With filter_mode honored nobody passes delay < 1; if the gate
+        # fell back to the name table it would serve unfiltered answers.
+        assert gated.sample(tight) is None
+        assert inner.misses == 1 and gated.stale_answers == 0
+
+    def test_partition_restricts_to_same_side_via_live_admits(self):
+        overlay, nodes, inner, state, gated = self._setup()
+        state.now, state.partition_until = 5, 10
+        state.side_of = {n.node_id: i % 2 for i, n in enumerate(nodes)}
+        for _ in range(12):
+            partner = gated.sample(nodes[0])
+            assert partner is not None
+            assert state.same_side(nodes[0].node_id, partner.node_id)
+            assert inner.admits(nodes[0], partner)
+
+    def test_end_to_end_sharded_run_under_fault_plan(self):
+        plan = parse_fault_plan("oracle-outage@40:10,stale-view@80:10:5")
+        config = SimulationConfig(
+            algorithm="hybrid",
+            oracle="random-delay",
+            oracle_realization="sharded",
+            seed=11,
+            max_rounds=600,
+            stop_at_convergence=False,
+            faults=plan,
+        )
+        simulation = Simulation(make("Rand", size=24, seed=11), config)
+        assert isinstance(simulation.oracle, FaultGatedOracle)
+        assert simulation.oracle.inner.realization == "sharded"
+        assert simulation.oracle.history >= 5  # sized for the stale spec
+        result = simulation.run()
+        assert result.fault_events == 2
+        assert simulation.injector.injected == 2
+        simulation.overlay.check_integrity()
+        assert result.converged
 
 
 # ----------------------------------------------------------------------

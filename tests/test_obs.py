@@ -25,6 +25,8 @@ from repro.obs import (
     MessageDrop,
     MessageSend,
     MetricsRegistry,
+    MultipathDelivery,
+    MultipathOverlap,
     NULL_PROBE,
     NullProbe,
     OracleMiss,
@@ -67,6 +69,8 @@ SAMPLE_EVENTS = [
     Backoff(round=7, node=4, failures=2, delay=18),
     FaultInjected(round=8, fault="mass-crash", affected=24),
     Recovery(round=9, fault_round=8, rounds=1),
+    MultipathOverlap(round=10, node=3, path_kept=0, path_detached=1, shared=2),
+    MultipathDelivery(round=10, delivered=22, online=24, paths=2),
 ]
 
 
