@@ -15,6 +15,7 @@ from repro.bench.suites import (
     multipath,
     obs_overhead,
     scale,
+    soak,
     stabilize,
     sweep,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "multipath",
     "obs_overhead",
     "scale",
+    "soak",
     "stabilize",
     "sweep",
 ]

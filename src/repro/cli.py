@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Seven commands cover the common workflows (docs/CLI.md is the full
+Eight commands cover the common workflows (docs/CLI.md is the full
 reference):
 
 ``build``
@@ -22,6 +22,12 @@ reference):
     ``name_f^l`` notation (exact search + sufficiency condition).
 ``experiment``
     Run one of the full-scale paper experiments by name.
+``serve-soak``
+    Long-running multi-feed service soak: many feeds over one
+    population with bursty publishing, a scripted timeline of flash
+    crowds / exoduses / rejoins, correlated fault plans, and per-feed
+    staleness-percentile + availability + time-to-recover reporting
+    (docs/SCENARIOS.md is the guide).
 ``obs``
     Observability tools over exported traces: ``obs summarize`` (event
     counts, timing and metric breakdowns, ``--kind`` filtering), ``obs
@@ -248,6 +254,92 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="run a full-scale paper experiment"
     )
     experiment.add_argument("name", choices=EXPERIMENTS)
+
+    soak = commands.add_parser(
+        "serve-soak",
+        help="long-running multi-feed service soak (flash crowds, "
+        "exoduses, faults, per-feed staleness SLOs)",
+    )
+    soak.add_argument(
+        "--feeds",
+        default="news,sports,tech",
+        metavar="IDS",
+        help="comma-separated feed ids sharing one population",
+    )
+    soak.add_argument("--consumers", type=int, default=60)
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--rounds", type=int, default=120)
+    soak.add_argument(
+        "--warmup",
+        type=int,
+        default=30,
+        metavar="ROUNDS",
+        help="construction-only rounds before dissemination and "
+        "measurement start",
+    )
+    soak.add_argument(
+        "--timeline",
+        default="flash@40:news:x10:ramp=3,exodus@80:news:0.5",
+        metavar="ACTS",
+        help="scripted service timeline, e.g. 'flash@40:news:x10:ramp=3,"
+        "exodus@80:news:0.6:crash,rejoin@100:news' (see docs/SCENARIOS.md); "
+        "'none' runs an undisturbed soak",
+    )
+    soak.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject a fault plan across all feeds, e.g. "
+        "'source-outage@60:5,crash@70:0.1:rejoin=10' "
+        "(docs/RESILIENCE.md has the DSL)",
+    )
+    soak.add_argument("--publish-rate", type=float, default=0.5)
+    soak.add_argument("--burst-size", type=int, default=4)
+    soak.add_argument("--pull-period", type=float, default=1.0)
+    soak.add_argument("--reuse-bias", type=float, default=0.8)
+    soak.add_argument(
+        "--recover-threshold",
+        type=float,
+        default=0.9,
+        metavar="FRACTION",
+        help="satisfied fraction at which a feed counts as recovered",
+    )
+    soak.add_argument(
+        "--backend",
+        default=None,
+        choices=("objects", "columnar"),
+        help="overlay state backend (default: the build default; "
+        "summaries are bit-identical either way)",
+    )
+    soak.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="K",
+        help="run K soaks at seeds seed..seed+K-1",
+    )
+    soak.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fan --repeats out to N worker processes (results are "
+        "bit-identical to serial)",
+    )
+    soak.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the summaries as JSON",
+    )
+    soak.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record soak-phase and feed-health events (plus every "
+        "protocol event) of the first repeat and write a JSONL trace "
+        "for 'repro obs summarize'",
+    )
 
     obs = commands.add_parser(
         "obs", help="observability tools over exported traces"
@@ -691,6 +783,144 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_soak(args: argparse.Namespace) -> int:
+    import dataclasses as _dataclasses
+    import json
+
+    from repro.core.errors import ConfigurationError
+    from repro.faults.plan import parse_fault_plan
+    from repro.multifeed.soak import (
+        ServiceSoak,
+        SoakConfig,
+        parse_timeline,
+        run_soak,
+    )
+
+    feed_ids = tuple(
+        chunk.strip() for chunk in args.feeds.split(",") if chunk.strip()
+    )
+    try:
+        timeline = (
+            () if args.timeline == "none" else parse_timeline(args.timeline)
+        )
+        faults = parse_fault_plan(args.faults) if args.faults else None
+        base = SoakConfig(
+            feed_ids=feed_ids,
+            consumer_count=args.consumers,
+            seed=args.seed,
+            rounds=args.rounds,
+            warmup_rounds=args.warmup,
+            timeline=timeline,
+            faults=faults,
+            pull_period=args.pull_period,
+            publish_rate=args.publish_rate,
+            burst_size=args.burst_size,
+            reuse_bias=args.reuse_bias,
+            recover_threshold=args.recover_threshold,
+            backend=args.backend,
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    configs = [
+        _dataclasses.replace(base, seed=base.seed + offset)
+        for offset in range(max(1, args.repeats))
+    ]
+
+    probe = None
+    if args.trace_out:
+        from repro.obs import RecordingProbe
+
+        probe = RecordingProbe()
+        summaries = [ServiceSoak(configs[0], probe).run()]
+        remaining = configs[1:]
+    else:
+        summaries = []
+        remaining = configs
+    if remaining:
+        if args.workers:
+            from repro.par import Task, make_executor
+
+            outcomes = make_executor(args.workers).run_tasks(
+                [
+                    Task(run_soak, (config,), label=f"soak@seed={config.seed}")
+                    for config in remaining
+                ]
+            )
+            for outcome in outcomes:
+                if not outcome.ok:
+                    print(
+                        f"error: {outcome.label}: {outcome.error}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                summaries.append(outcome.value)
+        else:
+            summaries.extend(run_soak(config) for config in remaining)
+
+    for config, summary in zip(configs, summaries):
+        print(
+            f"seed {config.seed}: {summary.service_rounds} service rounds "
+            f"over {len(summary.feeds)} feeds, availability "
+            f"{summary.availability:.1%}, "
+            + (
+                f"recovered {summary.time_to_recover} rounds after the "
+                f"last disruption (round {summary.last_disruption_round})"
+                if summary.time_to_recover is not None
+                else "not fully recovered"
+            )
+        )
+        if summary.flash_joined:
+            reconverge = (
+                f"re-converged {summary.hot_reconverge_rounds} rounds "
+                f"after the flash"
+                if summary.hot_reconverge_rounds is not None
+                else "never re-converged"
+            )
+            print(
+                f"  flash crowd: +{summary.flash_joined} joiners on "
+                f"'{summary.hot_feed}', {reconverge}, p99 "
+                f"{summary.hot_p99_before:.2f} -> {summary.hot_p99_after:.2f} "
+                f"delay units"
+            )
+        for stats in summary.feeds:
+            print(
+                f"  {stats.feed}: {stats.delivered} deliveries, staleness "
+                f"p50/p99/p999 {stats.p50:.2f}/{stats.p99:.2f}/"
+                f"{stats.p999:.2f}, availability {stats.availability:.1%}, "
+                f"{stats.online} online"
+                + (" (converged)" if stats.converged else "")
+            )
+        reuse = summary.reuse
+        print(
+            f"  reuse: {reuse.distinct_partnerships} partnerships carry "
+            f"{reuse.total_edges} tree edges "
+            f"({reuse.reuse_fraction:.1%} serve several feeds)"
+        )
+
+    if args.json:
+        payload = [_dataclasses.asdict(summary) for summary in summaries]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {len(payload)} summaries to {args.json}")
+    if args.trace_out and probe is not None:
+        from repro.obs.export import write_trace
+
+        count = write_trace(
+            args.trace_out,
+            probe.events,
+            registry=probe.registry,
+            header_extra={
+                "feeds": ",".join(feed_ids),
+                "seed": base.seed,
+                "rounds": base.rounds,
+                "timeline": args.timeline,
+            },
+        )
+        print(f"wrote {count} events to {args.trace_out}")
+    return 0
+
+
 def _load_trace(path: str):
     """Read a trace for the ``obs`` subcommands.
 
@@ -826,6 +1056,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_feasibility(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "serve-soak":
+        return _cmd_serve_soak(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "bench":

@@ -9,11 +9,13 @@ from repro.feeds.live import (
     live_delivery,
 )
 from repro.feeds.rss import parse_rss, render_rss
-from repro.feeds.source import FeedSource, periodic, poisson
+from repro.feeds.source import FeedSource, bursty, periodic, poisson
 from repro.feeds.staleness import (
     ConsumerStaleness,
     StalenessReport,
     build_report,
+    percentile,
+    staleness_percentiles,
 )
 
 __all__ = [
@@ -27,10 +29,13 @@ __all__ = [
     "LiveFeedSystem",
     "StalenessReport",
     "build_report",
+    "bursty",
     "disseminate",
     "live_delivery",
     "parse_rss",
+    "percentile",
     "periodic",
     "poisson",
     "render_rss",
+    "staleness_percentiles",
 ]

@@ -153,6 +153,18 @@ class LagOverDissemination:
 
     # ------------------------------------------------------------------
 
+    def ensure_consumer(self, node_id: int) -> FeedConsumer:
+        """The delivery log for a node, created on first sight.
+
+        Overlays can grow *while* dissemination runs (flash-crowd
+        joiners in the service soak); late arrivals get an empty log the
+        moment they enter, so every subsequent delivery is recorded.
+        """
+        consumer = self.consumers.get(node_id)
+        if consumer is None:
+            consumer = self.consumers[node_id] = FeedConsumer(node_id)
+        return consumer
+
     def start_direct_pullers(self) -> int:
         """Schedule pull loops for direct children that do not have one.
 

@@ -44,6 +44,40 @@ def poisson(rate: float, rng: random.Random) -> PublishProcess:
     return PublishProcess(lambda: rng.expovariate(rate))
 
 
+def bursty(
+    rate: float,
+    rng: random.Random,
+    burst_size: int = 4,
+    intra_gap: float = 0.1,
+) -> PublishProcess:
+    """Bursty publishing: quiet gaps, then several items back-to-back.
+
+    The classic shape of a news feed — nothing for a while, then a
+    cluster of updates.  Burst lengths are uniform on
+    ``1 .. 2*burst_size - 1`` (mean ``burst_size``); items inside a
+    burst are ``intra_gap`` apart; the gap *between* bursts is
+    exponential with mean ``burst_size / rate``, so the long-run rate is
+    ``rate`` items per time unit.  All draws come from the supplied
+    ``rng`` (hand it a dedicated stream for reproducible runs).
+    """
+    if rate <= 0:
+        raise ConfigurationError("publish rate must be > 0")
+    if burst_size < 1:
+        raise ConfigurationError("burst_size must be >= 1")
+    if intra_gap <= 0:
+        raise ConfigurationError("intra_gap must be > 0")
+    remaining = [0]
+
+    def gap() -> float:
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            return intra_gap
+        remaining[0] = rng.randint(1, 2 * burst_size - 1) - 1
+        return rng.expovariate(rate / burst_size)
+
+    return PublishProcess(gap)
+
+
 class FeedSource:
     """A resource-constrained, pull-only feed server.
 

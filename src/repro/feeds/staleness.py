@@ -13,10 +13,44 @@ evaluates staleness only over items that had time to traverse the tree
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+import math
+from typing import Dict, List, Sequence
 
 from repro.core.tree import Overlay
 from repro.feeds.client import FeedConsumer
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (0 < q <= 100).
+
+    Deterministic and interpolation-free — the rank is
+    ``ceil(q/100 * n)`` into the sorted values, so two runs that deliver
+    the same multiset of stalenesses report bit-identical percentiles
+    (what lets the service-soak benchmark gate on exact p999 values).
+    Empty input reports 0.0: no delivery has no measured staleness.
+    """
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def staleness_percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50.0, 99.0, 99.9)
+) -> Dict[str, float]:
+    """``{"p50": ..., "p99": ..., "p999": ...}`` over measured stalenesses.
+
+    Keys drop the decimal point (``99.9`` -> ``"p999"``) so they can be
+    used directly as benchmark metric names.
+    """
+    report = {}
+    for q in qs:
+        label = f"{q:g}".replace(".", "")
+        report[f"p{label}"] = percentile(values, q)
+    return report
 
 
 @dataclasses.dataclass(frozen=True)

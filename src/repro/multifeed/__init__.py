@@ -1,6 +1,19 @@
 """§7 extension: multiple feeds over intersecting consumer populations."""
 
 from repro.multifeed.reuse import ReuseDelayOracle, reuse_oracle_factory
+from repro.multifeed.soak import (
+    FeedSoakStats,
+    FlashCrowd,
+    MassExodus,
+    Rejoin,
+    ServiceSoak,
+    SoakAct,
+    SoakConfig,
+    SoakFaultInjector,
+    SoakSummary,
+    parse_timeline,
+    run_soak,
+)
 from repro.multifeed.system import (
     MultiFeedSystem,
     ReuseMetrics,
@@ -8,9 +21,20 @@ from repro.multifeed.system import (
 )
 
 __all__ = [
+    "FeedSoakStats",
+    "FlashCrowd",
+    "MassExodus",
     "MultiFeedSystem",
+    "Rejoin",
     "ReuseDelayOracle",
     "ReuseMetrics",
+    "ServiceSoak",
+    "SoakAct",
+    "SoakConfig",
+    "SoakFaultInjector",
+    "SoakSummary",
     "Subscription",
+    "parse_timeline",
     "reuse_oracle_factory",
+    "run_soak",
 ]

@@ -5,6 +5,13 @@ probability ``reuse_bias`` — partners the enquirer is *already* adjacent
 to in another feed's tree.  A partnership that carries two feeds costs
 one network relationship instead of two, which is the §7 "reusing part
 of the LagOver for multiple sources" saving.
+
+The biased branch draws from a *dedicated* seeded stream
+(``reuse-bias/<feed>``, like the fault injector's ``faults`` stream),
+never from the partner-selection stream: with ``reuse_bias=0.0`` the
+oracle's selection sequence is bit-identical to a plain
+:class:`~repro.oracles.base.RandomDelayOracle` on the same stream
+(regression-pinned in ``tests/test_multifeed.py``).
 """
 
 from __future__ import annotations
@@ -33,11 +40,21 @@ class ReuseDelayOracle(Oracle):
         system: "MultiFeedSystem",
         feed_id: str,
         reuse_bias: float = 0.8,
+        bias_rng: Optional[random.Random] = None,
     ) -> None:
         super().__init__(overlay, rng)
         self.system = system
         self.feed_id = feed_id
         self.reuse_bias = reuse_bias
+        # The reuse-bias coin flips come from their own seeded stream
+        # (``reuse-bias/<feed>``), like :mod:`repro.faults` keeps fault
+        # draws off the protocol streams: whether a familiar partner
+        # happens to exist (a cross-feed, state-dependent accident) must
+        # never perturb the partner-*selection* stream, or soak runs
+        # would not be bit-reproducible against an unbiased twin.
+        if bias_rng is None:
+            bias_rng = system.streams.get(f"reuse-bias/{feed_id}")
+        self.bias_rng = bias_rng
         #: How many samples were served from the cross-feed partner set.
         self.reuse_hits = 0
 
@@ -58,9 +75,9 @@ class ReuseDelayOracle(Oracle):
         self.hits += 1
         known = self.system.partners_elsewhere(enquirer.name, self.feed_id)
         familiar = [node for node in candidates if node.name in known]
-        if familiar and self.rng.random() < self.reuse_bias:
+        if familiar and self.bias_rng.random() < self.reuse_bias:
             self.reuse_hits += 1
-            return self.rng.choice(familiar)
+            return self.bias_rng.choice(familiar)
         return self.rng.choice(candidates)
 
 

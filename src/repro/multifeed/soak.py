@@ -1,0 +1,809 @@
+"""The multi-feed service soak: LagOver as a long-running service.
+
+Everything before this module evaluates one construction episode or one
+fault at a time.  A real deployment is neither: many feeds share one
+population, audiences surge and desert, outages land while flash crowds
+are still attaching, and the operator's question is not "did it
+converge" but *"did p99 staleness stay inside the SLO, and how fast did
+it come back when it didn't"*.
+
+:class:`ServiceSoak` composes the §7 multi-feed substrate
+(:class:`~repro.multifeed.system.MultiFeedSystem` with the reuse-biased
+oracle), the :mod:`repro.faults` machinery and live dissemination
+(:class:`~repro.feeds.dissemination.LagOverDissemination` with bursty
+publishing) under one scripted timeline:
+
+* **flash crowd** — the hot feed's audience multiplies within a few
+  rounds (``flash@40:news:x10:ramp=3``);
+* **mass exodus** — a fraction of a feed's audience tunes out at once,
+  gracefully or by crash (``exodus@80:news:0.6`` /
+  ``exodus@80:news:0.6:crash``);
+* **rejoin** — the departed audience floods back
+  (``rejoin@100:news``);
+* **correlated faults** — any :func:`repro.faults.plan.parse_fault_plan`
+  DSL plan, applied *across feeds* by the name-keyed
+  :class:`SoakFaultInjector`.
+
+The soak reports a :class:`SoakSummary`: per-feed staleness percentiles
+(nearest-rank p50/p99/p999 over the service phase), availability,
+time-to-recover after the last disruption, the flash-crowded feed's
+before/after p99 and re-convergence time, and the cross-feed reuse
+metrics.  Every random draw comes from dedicated
+:class:`~repro.sim.rng.StreamFactory` streams, so a summary is a pure
+function of its :class:`SoakConfig` — bit-identical serially, under
+:mod:`repro.par` pooling, and across overlay backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.constraints import NodeSpec
+from repro.core.errors import ConfigurationError
+from repro.faults.oracle import FaultGatedOracle
+from repro.faults.plan import (
+    CrashNodes,
+    FaultPlan,
+    FaultSpec,
+    MassCrash,
+    OracleOutage,
+    SourceOutage,
+    StaleOracleView,
+    ViewPartition,
+)
+from repro.faults.state import FaultState
+from repro.feeds.dissemination import LagOverDissemination
+from repro.feeds.source import FeedSource, bursty
+from repro.feeds.staleness import staleness_percentiles
+from repro.multifeed.reuse import reuse_oracle_factory
+from repro.multifeed.system import MultiFeedSystem, ReuseMetrics
+from repro.obs.probe import NULL_PROBE, Probe
+
+# ----------------------------------------------------------------------
+# the scripted timeline
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SoakAct:
+    """Base of all timeline acts: the soak round the act fires in."""
+
+    round: int
+    feed: str
+
+
+@dataclasses.dataclass(frozen=True)
+class FlashCrowd(SoakAct):
+    """The feed's audience multiplies by ``multiplier`` within
+    ``ramp_rounds`` rounds (newcomers join parentless and attach through
+    normal construction — the herd is the stress, not a shortcut).
+
+    Latecomers declare *tolerant* constraints — latency drawn from the
+    upper half of the configured range: a mob of impatient newcomers is
+    infeasible outright (a tree only has so many low-delay slots), and
+    the soak gates on the feed actually re-converging."""
+
+    multiplier: float = 10.0
+    ramp_rounds: int = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class MassExodus(SoakAct):
+    """``fraction`` of the feed's online audience departs at once;
+    ``graceful=False`` models a crash burst (no referral hand-off)."""
+
+    fraction: float = 0.5
+    graceful: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class Rejoin(SoakAct):
+    """Every offline participation in the feed comes back in one burst
+    (the thundering herd after an exodus or crash)."""
+
+
+def parse_timeline(text: str) -> Tuple[SoakAct, ...]:
+    """Parse the soak timeline DSL.
+
+    Comma-separated acts, each ``name@round[:arg[:arg...]]``::
+
+        flash@40:news:x10:ramp=3     audience x10 over 3 rounds
+        exodus@80:news:0.6           60% leave gracefully
+        exodus@80:news:0.6:crash     ... or by crashing
+        rejoin@100:news              the departed flood back
+
+    >>> parse_timeline("flash@40:news:x10")[0].multiplier
+    10.0
+    """
+    acts: List[SoakAct] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            head, _, rest = chunk.partition("@")
+            args = rest.split(":")
+            acts.append(_parse_act(head.strip(), args))
+        except (ValueError, IndexError) as exc:
+            raise ConfigurationError(
+                f"bad timeline act {chunk!r}: {exc}"
+            ) from exc
+    if not acts:
+        raise ConfigurationError(f"no timeline acts in {text!r}")
+    return tuple(sorted(acts, key=lambda act: act.round))
+
+
+def _parse_act(name: str, args: List[str]) -> SoakAct:
+    round_, feed = int(args[0]), args[1]
+    if name == "flash":
+        multiplier, ramp = 10.0, 3
+        for extra in args[2:]:
+            if extra.startswith("x"):
+                multiplier = float(extra[1:])
+            elif extra.startswith("ramp="):
+                ramp = int(extra[len("ramp="):])
+            else:
+                raise ValueError(f"unknown flash argument {extra!r}")
+        return FlashCrowd(
+            round=round_, feed=feed, multiplier=multiplier, ramp_rounds=ramp
+        )
+    if name == "exodus":
+        fraction = float(args[2])
+        graceful = True
+        if len(args) > 3:
+            if args[3] != "crash":
+                raise ValueError(f"unknown exodus argument {args[3]!r}")
+            graceful = False
+        return MassExodus(
+            round=round_, feed=feed, fraction=fraction, graceful=graceful
+        )
+    if name == "rejoin":
+        return Rejoin(round=round_, feed=feed)
+    raise ValueError(f"unknown act {name!r}")
+
+
+# ----------------------------------------------------------------------
+# configuration and summary
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SoakConfig:
+    """One service soak, fully specified (picklable, value-equal).
+
+    The summary is a pure function of this config: two processes given
+    equal configs produce equal :class:`SoakSummary` objects, which is
+    what the serial-vs-pooled and backend-equivalence guards in
+    ``tests/test_soak.py`` pin.
+    """
+
+    feed_ids: Tuple[str, ...] = ("news", "sports", "tech")
+    consumer_count: int = 60
+    seed: int = 0
+    rounds: int = 120
+    warmup_rounds: int = 30
+    timeline: Tuple[SoakAct, ...] = ()
+    faults: Optional[FaultPlan] = None
+    pull_period: float = 1.0
+    publish_rate: float = 0.5
+    burst_size: int = 4
+    subscribe_probability: float = 0.6
+    source_fanout: int = 3
+    total_fanout_range: Tuple[int, int] = (2, 8)
+    max_latency: int = 10
+    reuse_bias: float = 0.8
+    recover_threshold: float = 0.9
+    health_every: int = 5
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.rounds <= self.warmup_rounds:
+            raise ConfigurationError(
+                "rounds must exceed warmup_rounds (no service phase)"
+            )
+        if not 0.0 < self.recover_threshold <= 1.0:
+            raise ConfigurationError("recover_threshold must be in (0, 1]")
+        if self.health_every < 1:
+            raise ConfigurationError("health_every must be >= 1")
+        for act in self.timeline:
+            if act.feed not in self.feed_ids:
+                raise ConfigurationError(
+                    f"timeline act targets unknown feed {act.feed!r}"
+                )
+            if not 0 < act.round <= self.rounds:
+                raise ConfigurationError(
+                    f"timeline act round {act.round} outside 1..{self.rounds}"
+                )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigurationError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
+
+    @property
+    def hot_feed(self) -> str:
+        """The flash-crowded feed (first feed when no flash act)."""
+        for act in self.timeline:
+            if isinstance(act, FlashCrowd):
+                return act.feed
+        return self.feed_ids[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class FeedSoakStats:
+    """One feed's service-phase outcome."""
+
+    feed: str
+    delivered: int          # arrivals of service-phase items, all consumers
+    p50: float              # staleness percentiles, in pull periods
+    p99: float
+    p999: float
+    worst: float
+    availability: float     # mean satisfied fraction over service rounds
+    online: int             # final online audience
+    rooted: int
+    satisfied: int
+    converged: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class SoakSummary:
+    """What the soak measured; a pure function of its :class:`SoakConfig`."""
+
+    rounds: int
+    service_rounds: int
+    feeds: Tuple[FeedSoakStats, ...]
+    availability: float                # mean over feeds and service rounds
+    last_disruption_round: Optional[int]
+    time_to_recover: Optional[int]     # rounds from last disruption, None = never
+    hot_feed: str
+    hot_reconverge_rounds: Optional[int]  # flash -> threshold again
+    hot_p99_before: float              # service items published pre-flash
+    hot_p99_after: float               # items published after re-convergence
+    flash_joined: int
+    exodus_departures: int
+    faults_injected: int
+    reuse: ReuseMetrics
+
+    def feed_stats(self, feed: str) -> FeedSoakStats:
+        for stats in self.feeds:
+            if stats.feed == feed:
+                return stats
+        raise KeyError(feed)
+
+
+# ----------------------------------------------------------------------
+# cross-feed fault injection
+# ----------------------------------------------------------------------
+
+
+class SoakFaultInjector:
+    """Applies one :class:`FaultPlan` across every feed of a soak.
+
+    The single-overlay :class:`~repro.faults.injector.FaultInjector`
+    picks victims by node id; node ids are *per overlay*, so an id-keyed
+    injector over a multi-feed system would crash a different user in
+    every feed.  This injector selects by consumer **name** over the
+    shared population and takes the whole user down in every feed it
+    subscribes to — a machine failure, not a per-feed accident.  Window
+    faults (source/oracle outage, stale view, partition) are written
+    into every feed's :class:`FaultState` so outages are *correlated*
+    across feeds, the regime a service soak is meant to stress.
+
+    ``CrashNodes.node_ids`` are interpreted as indexes into the shared
+    population (``system.consumers``), not overlay node ids.
+    """
+
+    def __init__(
+        self,
+        system: MultiFeedSystem,
+        plan: FaultPlan,
+        rng,
+        probe: Probe = NULL_PROBE,
+    ) -> None:
+        self.system = system
+        self.plan = plan
+        self.rng = rng
+        self.probe = probe
+        self.states: Dict[str, FaultState] = {
+            feed: FaultState() for feed in system.feed_ids
+        }
+        self.injected = 0
+        self.crashes = 0
+        self.rejoins = 0
+        self.fault_rounds: List[int] = []
+        self._by_round: Dict[int, List[FaultSpec]] = {}
+        for spec in plan.specs:
+            self._by_round.setdefault(spec.round, []).append(spec)
+        #: round -> consumer names due to rejoin in a burst that round.
+        self._pending_rejoins: Dict[int, List[str]] = {}
+
+    # ------------------------------------------------------------------
+
+    def inject(self, now: int) -> None:
+        """Advance every feed's fault state and fire due specs."""
+        for state in self.states.values():
+            state.now = now
+        due = self._pending_rejoins.pop(now, None)
+        if due:
+            self._mass_rejoin(now, due)
+        for spec in self._by_round.pop(now, ()):
+            self._apply(spec, now)
+
+    def _fired(self, now: int, fault: str, affected: int) -> None:
+        self.injected += 1
+        self.fault_rounds.append(now)
+        self.probe.fault_injected(fault, affected)
+
+    def _online_anywhere(self, name: str) -> bool:
+        return any(
+            self.system.online_in(name, feed)
+            for feed in self.system.subscriptions[name]
+        )
+
+    def _apply(self, spec: FaultSpec, now: int) -> None:
+        if isinstance(spec, MassCrash):
+            online = [
+                name
+                for name in self.system.consumers
+                if self._online_anywhere(name)
+            ]
+            count = max(1, round(len(online) * spec.fraction)) if online else 0
+            victims = self.rng.sample(online, count) if count else []
+            self._crash(now, victims, spec.graceful, spec.rejoin_after)
+            self._fired(
+                now,
+                "mass-leave" if spec.graceful else "mass-crash",
+                len(victims),
+            )
+        elif isinstance(spec, CrashNodes):
+            population = self.system.consumers
+            victims = [
+                population[index]
+                for index in spec.node_ids
+                if index < len(population)
+                and self._online_anywhere(population[index])
+            ]
+            self._crash(now, victims, spec.graceful, spec.rejoin_after)
+            self._fired(now, "crash-nodes", len(victims))
+        elif isinstance(spec, SourceOutage):
+            for state in self.states.values():
+                state.source_down_until = max(
+                    state.source_down_until, now + spec.duration
+                )
+            self._fired(now, "source-outage", spec.duration)
+        elif isinstance(spec, OracleOutage):
+            for state in self.states.values():
+                state.oracle_down_until = max(
+                    state.oracle_down_until, now + spec.duration
+                )
+            self._fired(now, "oracle-outage", spec.duration)
+        elif isinstance(spec, StaleOracleView):
+            for state in self.states.values():
+                state.stale_until = max(state.stale_until, now + spec.duration)
+                state.staleness = spec.staleness
+            self._fired(now, "stale-view", spec.duration)
+        elif isinstance(spec, ViewPartition):
+            # One side per *user*, mapped onto each feed's node ids, so a
+            # consumer is on the same side of the split everywhere.
+            side_by_name = {
+                name: self.rng.randrange(spec.sides)
+                for name in self.system.consumers
+            }
+            for feed, state in self.states.items():
+                state.side_of = {
+                    node.node_id: side_by_name[name]
+                    for name, node in self.system._nodes[feed].items()
+                }
+                state.partition_until = max(
+                    state.partition_until, now + spec.duration
+                )
+            self._fired(now, "partition", spec.sides)
+        else:  # pragma: no cover - plan validation rejects unknown specs
+            raise TypeError(f"unhandled fault spec {spec!r}")
+
+    def _crash(
+        self,
+        now: int,
+        victims: List[str],
+        graceful: bool,
+        rejoin_after: Optional[int],
+    ) -> None:
+        for name in victims:
+            for feed in self.system.subscriptions[name]:
+                if self.system.leave_feed(name, feed, graceful=graceful):
+                    self.crashes += 1
+        if rejoin_after is not None and victims:
+            self._pending_rejoins.setdefault(now + rejoin_after, []).extend(
+                victims
+            )
+
+    def _mass_rejoin(self, now: int, names: List[str]) -> None:
+        revived = 0
+        for name in names:
+            for feed in self.system.subscriptions[name]:
+                if self.system.rejoin_feed(name, feed):
+                    revived += 1
+                    self.rejoins += 1
+        if revived:
+            self._fired(now, "mass-rejoin", revived)
+
+
+# ----------------------------------------------------------------------
+# the soak itself
+# ----------------------------------------------------------------------
+
+
+class ServiceSoak:
+    """Runs one :class:`SoakConfig` to a :class:`SoakSummary`.
+
+    Round loop (after the construction warmup): advance the shared
+    clock, fire due timeline acts, inject faults, run one construction
+    round per feed, then drive every feed's dissemination engine up to
+    the current feed time and sample health.  The probe observes
+    everything (soak phases, feed health, protocol events, faults) and —
+    per the probe invariant — can never change the outcome.
+    """
+
+    def __init__(self, config: SoakConfig, probe: Probe = NULL_PROBE) -> None:
+        self.config = config
+        self.probe = probe
+        self.system = MultiFeedSystem(
+            feed_ids=list(config.feed_ids),
+            consumer_count=config.consumer_count,
+            seed=config.seed,
+            subscribe_probability=config.subscribe_probability,
+            source_fanout=config.source_fanout,
+            total_fanout_range=config.total_fanout_range,
+            max_latency=config.max_latency,
+            oracle_factory=reuse_oracle_factory(config.reuse_bias),
+            backend=config.backend,
+        )
+        streams = self.system.streams
+        for overlay in self.system.overlays.values():
+            overlay.probe = probe
+
+        # Fault machinery — mirrors Simulation: installed whenever a
+        # plan is present (a NullFaultPlan installs everything and is
+        # bit-identical to installing nothing; pinned in tests).
+        self.injector: Optional[SoakFaultInjector] = None
+        if config.faults is not None:
+            self.injector = SoakFaultInjector(
+                self.system, config.faults, streams.get("faults"), probe
+            )
+            history = config.faults.max_staleness()
+            for feed in config.feed_ids:
+                state = self.injector.states[feed]
+                gated = FaultGatedOracle(
+                    self.system.oracles[feed],
+                    self.system.overlays[feed],
+                    state,
+                    streams.get(f"faults-oracle/{feed}"),
+                    history=history,
+                )
+                self.system.oracles[feed] = gated
+                self.system.algorithms[feed].oracle = gated
+                self.system.algorithms[feed].faults = state
+
+        # Live dissemination: one bursty source + engine per feed.
+        self.sources: Dict[str, FeedSource] = {}
+        self.engines: Dict[str, LagOverDissemination] = {}
+        for feed in config.feed_ids:
+            source = FeedSource(
+                feed_id=feed,
+                process=bursty(
+                    config.publish_rate,
+                    streams.get(f"soak/publish/{feed}"),
+                    burst_size=config.burst_size,
+                ),
+            )
+            self.sources[feed] = source
+            self.engines[feed] = LagOverDissemination(
+                self.system.overlays[feed],
+                source,
+                streams.get(f"soak/net/{feed}"),
+                pull_period=config.pull_period,
+            )
+
+        self._flash_rng = streams.get("soak/flash")
+        self._exodus_rng = streams.get("soak/exodus")
+        self._acts_by_round: Dict[int, List[SoakAct]] = {}
+        for act in config.timeline:
+            self._acts_by_round.setdefault(act.round, []).append(act)
+        #: round -> flash joiners still to add (ramped arrivals).
+        self._pending_joins: Dict[int, List[Tuple[str, int]]] = {}
+        self._flash_count = 0
+
+        # Measurement state.
+        self._satisfied_series: Dict[str, List[float]] = {
+            feed: [] for feed in config.feed_ids
+        }
+        self._disruption_rounds: List[int] = []
+        self._recovered_round: Optional[int] = None
+        self._flash_round: Optional[int] = None
+        self._hot_reconverged_round: Optional[int] = None
+        self.flash_joined = 0
+        self.exodus_departures = 0
+
+    # ------------------------------------------------------------------
+    # timeline application
+    # ------------------------------------------------------------------
+
+    def _apply_timeline(self, now: int) -> None:
+        due_joins = self._pending_joins.pop(now, None)
+        if due_joins:
+            self._admit_joiners(due_joins)
+        for act in self._acts_by_round.pop(now, ()):
+            if isinstance(act, FlashCrowd):
+                self._flash_crowd(now, act)
+            elif isinstance(act, MassExodus):
+                self._mass_exodus(now, act)
+            elif isinstance(act, Rejoin):
+                self._rejoin(now, act)
+            else:  # pragma: no cover - config validation rejects unknowns
+                raise TypeError(f"unhandled timeline act {act!r}")
+
+    def _flash_crowd(self, now: int, act: FlashCrowd) -> None:
+        base = len(self.system.subscriber_names(act.feed, online_only=True))
+        newcomers = max(1, round(base * (act.multiplier - 1.0)))
+        ramp = max(1, act.ramp_rounds)
+        share, remainder = divmod(newcomers, ramp)
+        for offset in range(ramp):
+            chunk = share + (1 if offset < remainder else 0)
+            if not chunk:
+                continue
+            batch = [(act.feed, chunk)]
+            if offset == 0:
+                self._admit_joiners(batch)
+            else:
+                self._pending_joins.setdefault(now + offset, []).extend(batch)
+        self._disruption_rounds.append(now)
+        self._recovered_round = None
+        if act.feed == self.config.hot_feed and self._flash_round is None:
+            self._flash_round = now
+            self._hot_reconverged_round = None
+        self.probe.soak_phase("flash-crowd", act.feed, newcomers)
+
+    def _admit_joiners(self, batches: List[Tuple[str, int]]) -> None:
+        low, high = self.config.total_fanout_range
+        patient = max(1, (self.config.max_latency + 1) // 2)
+        for feed, count in batches:
+            for _ in range(count):
+                name = f"fc{self._flash_count}"
+                self._flash_count += 1
+                spec = NodeSpec(
+                    latency=self._flash_rng.randint(
+                        patient, self.config.max_latency
+                    ),
+                    fanout=self._flash_rng.randint(low, high),
+                )
+                created = self.system.join(name, {feed: spec})
+                # Late arrivals need delivery logs before the first push
+                # reaches them (see ensure_consumer).
+                self.engines[feed].ensure_consumer(created[feed].node_id)
+                self.flash_joined += 1
+
+    def _mass_exodus(self, now: int, act: MassExodus) -> None:
+        audience = self.system.subscriber_names(act.feed, online_only=True)
+        count = min(len(audience), max(1, round(len(audience) * act.fraction)))
+        leavers = self._exodus_rng.sample(audience, count) if count else []
+        for name in leavers:
+            if self.system.leave_feed(name, act.feed, graceful=act.graceful):
+                self.exodus_departures += 1
+        self._disruption_rounds.append(now)
+        self._recovered_round = None
+        self.probe.soak_phase(
+            "exodus" if act.graceful else "exodus-crash", act.feed, len(leavers)
+        )
+
+    def _rejoin(self, now: int, act: Rejoin) -> None:
+        revived = 0
+        for name in self.system.subscriber_names(act.feed):
+            if self.system.rejoin_feed(name, act.feed):
+                revived += 1
+        self._disruption_rounds.append(now)
+        self._recovered_round = None
+        self.probe.soak_phase("rejoin", act.feed, revived)
+
+    # ------------------------------------------------------------------
+    # the round loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SoakSummary:
+        config = self.config
+        for _ in range(config.rounds):
+            self.system.now += 1
+            now = self.system.now
+            started = time.perf_counter()
+            self.probe.begin_round(now)
+            self._apply_timeline(now)
+            if self.injector is not None:
+                self.injector.inject(now)
+            for feed in config.feed_ids:
+                self.system.step_feed(feed)
+            if now > config.warmup_rounds:
+                self._disseminate(now)
+            self._sample(now)
+            self.probe.end_round(now, time.perf_counter() - started)
+        return self.result()
+
+    def _disseminate(self, now: int) -> None:
+        feed_time = now * self.config.pull_period
+        for feed in self.config.feed_ids:
+            engine = self.engines[feed]
+            engine.start_direct_pullers()
+            engine.scheduler.run_until(feed_time)
+
+    def _sample(self, now: int) -> None:
+        in_service = now > self.config.warmup_rounds
+        emit = self.probe.enabled and now % self.config.health_every == 0
+        all_recovered = True
+        for feed in self.config.feed_ids:
+            overlay = self.system.overlays[feed]
+            satisfied_fraction = overlay.satisfied_fraction()
+            if in_service:
+                self._satisfied_series[feed].append(satisfied_fraction)
+            if satisfied_fraction < self.config.recover_threshold:
+                all_recovered = False
+            if (
+                feed == self.config.hot_feed
+                and self._flash_round is not None
+                and self._hot_reconverged_round is None
+                and now > self._flash_round
+                and satisfied_fraction >= self.config.recover_threshold
+            ):
+                self._hot_reconverged_round = now
+            if emit:
+                online = overlay.online_consumers
+                rooted = sum(1 for node in online if overlay.is_rooted(node))
+                satisfied = sum(
+                    1 for node in online if overlay.meets_latency(node)
+                )
+                deliveries = sum(
+                    len(c.arrivals)
+                    for c in self.engines[feed].consumers.values()
+                )
+                self.probe.feed_health(
+                    feed, len(online), rooted, satisfied, deliveries
+                )
+        disrupted_now = (
+            bool(self._disruption_rounds)
+            and self._disruption_rounds[-1] == now
+        ) or (
+            self.injector is not None
+            and bool(self.injector.fault_rounds)
+            and self.injector.fault_rounds[-1] == now
+        )
+        if disrupted_now:
+            self._recovered_round = None
+            return
+        last = self._last_disruption()
+        if (
+            all_recovered
+            and self._recovered_round is None
+            and last is not None
+            and now > last
+        ):
+            self._recovered_round = now
+
+    def _last_disruption(self) -> Optional[int]:
+        rounds = list(self._disruption_rounds)
+        if self.injector is not None:
+            rounds.extend(self.injector.fault_rounds)
+        return max(rounds) if rounds else None
+
+    # ------------------------------------------------------------------
+    # the summary
+    # ------------------------------------------------------------------
+
+    def result(self) -> SoakSummary:
+        config = self.config
+        service_start = config.warmup_rounds * config.pull_period
+        flash_time = (
+            self._flash_round * config.pull_period
+            if self._flash_round is not None
+            else None
+        )
+        recover_time = (
+            self._hot_reconverged_round * config.pull_period
+            if self._hot_reconverged_round is not None
+            else None
+        )
+        feeds: List[FeedSoakStats] = []
+        availabilities: List[float] = []
+        hot_before: List[float] = []
+        hot_after: List[float] = []
+        for feed in config.feed_ids:
+            overlay = self.system.overlays[feed]
+            engine = self.engines[feed]
+            # Service-phase arrivals only: items published before the
+            # warmup ended sat as backlog and would pollute the tail.
+            values: List[float] = []
+            delivered = 0
+            for consumer in engine.consumers.values():
+                for arrival in consumer.arrivals.values():
+                    published = arrival.item.published_at
+                    if published < service_start:
+                        continue
+                    delivered += 1
+                    staleness = arrival.staleness / config.pull_period
+                    values.append(staleness)
+                    # The before/after windows cut on *arrival* time —
+                    # the operator's view: p99 of deliveries as they
+                    # happened, pre-flash vs. post-recovery (a pre-flash
+                    # item pulled as backlog by a newcomer belongs to
+                    # the disruption, not the calm before it).
+                    if feed == config.hot_feed and flash_time is not None:
+                        if arrival.arrived_at < flash_time:
+                            hot_before.append(staleness)
+                        elif (
+                            recover_time is not None
+                            and arrival.arrived_at >= recover_time
+                        ):
+                            hot_after.append(staleness)
+            percentiles = staleness_percentiles(values)
+            series = self._satisfied_series[feed]
+            availability = sum(series) / len(series) if series else 1.0
+            availabilities.append(availability)
+            online = overlay.online_consumers
+            feeds.append(
+                FeedSoakStats(
+                    feed=feed,
+                    delivered=delivered,
+                    p50=percentiles["p50"],
+                    p99=percentiles["p99"],
+                    p999=percentiles["p999"],
+                    worst=max(values) if values else 0.0,
+                    availability=availability,
+                    online=len(online),
+                    rooted=sum(
+                        1 for node in online if overlay.is_rooted(node)
+                    ),
+                    satisfied=sum(
+                        1 for node in online if overlay.meets_latency(node)
+                    ),
+                    converged=overlay.is_converged(),
+                )
+            )
+        last_disruption = self._last_disruption()
+        time_to_recover = (
+            self._recovered_round - last_disruption
+            if self._recovered_round is not None and last_disruption is not None
+            else None
+        )
+        hot_reconverge = (
+            self._hot_reconverged_round - self._flash_round
+            if self._hot_reconverged_round is not None
+            and self._flash_round is not None
+            else None
+        )
+        return SoakSummary(
+            rounds=config.rounds,
+            service_rounds=config.rounds - config.warmup_rounds,
+            feeds=tuple(feeds),
+            availability=(
+                sum(availabilities) / len(availabilities)
+                if availabilities
+                else 1.0
+            ),
+            last_disruption_round=last_disruption,
+            time_to_recover=time_to_recover,
+            hot_feed=config.hot_feed,
+            hot_reconverge_rounds=hot_reconverge,
+            hot_p99_before=staleness_percentiles(hot_before)["p99"],
+            hot_p99_after=staleness_percentiles(hot_after)["p99"],
+            flash_joined=self.flash_joined,
+            exodus_departures=self.exodus_departures,
+            faults_injected=(
+                self.injector.injected if self.injector is not None else 0
+            ),
+            reuse=self.system.reuse_metrics(),
+        )
+
+
+def run_soak(config: SoakConfig) -> SoakSummary:
+    """Run one soak to its summary (module-level: poolable as a
+    :class:`repro.par.Task` worker; the summary is picklable and
+    value-equal across processes)."""
+    return ServiceSoak(config).run()

@@ -84,6 +84,7 @@ class MultiFeedSystem:
         oracle_factory: Optional[OracleFactory] = None,
         protocol: Optional[ProtocolConfig] = None,
         correlated_latency: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         if not feed_ids:
             raise ConfigurationError("need at least one feed")
@@ -146,7 +147,9 @@ class MultiFeedSystem:
             population, _ = repair_population(
                 source_fanout, population, self.streams.get(f"repair/{feed}")
             )
-            overlay = Overlay(source_fanout=source_fanout, source_name=feed)
+            overlay = Overlay(
+                source_fanout=source_fanout, source_name=feed, backend=backend
+            )
             nodes = overlay.add_population(population)
             self.overlays[feed] = overlay
             self._nodes[feed] = {node.name: node for node in nodes}
@@ -168,16 +171,23 @@ class MultiFeedSystem:
         """One construction round in every feed's overlay."""
         self.now += 1
         for feed in self.feed_ids:
-            overlay = self.overlays[feed]
-            self.oracles[feed].on_round(self.now)
-            algorithm = self.algorithms[feed]
-            nodes = overlay.online_consumers
-            self._order_rng.shuffle(nodes)
-            for node in nodes:
-                if node.parent is not None:
-                    algorithm.maintain(node)
-                else:
-                    algorithm.step(node)
+            self.step_feed(feed)
+
+    def step_feed(self, feed: str) -> None:
+        """One construction round in one feed's overlay at the current
+        clock (callers that interleave other machinery — the service
+        soak's fault injection and dissemination — advance :attr:`now`
+        themselves and drive the feeds individually)."""
+        overlay = self.overlays[feed]
+        self.oracles[feed].on_round(self.now)
+        algorithm = self.algorithms[feed]
+        nodes = overlay.online_consumers
+        self._order_rng.shuffle(nodes)
+        for node in nodes:
+            if node.parent is not None:
+                algorithm.maintain(node)
+            else:
+                algorithm.step(node)
 
     def run(self, max_rounds: int = 4000) -> bool:
         """Run until every feed's overlay converges; returns success."""
@@ -217,6 +227,76 @@ class MultiFeedSystem:
 
     def convergence_by_feed(self) -> Dict[str, bool]:
         return {f: o.is_converged() for f, o in self.overlays.items()}
+
+    # ------------------------------------------------------------------
+    # dynamic membership (service-mode: flash crowds and exoduses)
+    # ------------------------------------------------------------------
+
+    def join(self, name: str, specs: Dict[str, NodeSpec]) -> Dict[str, Node]:
+        """Add a brand-new consumer subscribed to ``specs``' feeds.
+
+        The consumer joins each named feed's overlay parentless (the
+        construction algorithm attaches it over subsequent rounds) —
+        this is the flash-crowd entry point, so no sufficiency repair is
+        re-run: latecomers take the specs they declare.  Returns the
+        created node per feed.
+        """
+        if name in self.subscriptions:
+            raise ConfigurationError(f"consumer {name!r} already exists")
+        if not specs:
+            raise ConfigurationError("a joining consumer needs >= 1 feed")
+        for feed in specs:
+            if feed not in self.overlays:
+                raise ConfigurationError(f"unknown feed {feed!r}")
+        self.consumers.append(name)
+        self.subscriptions[name] = list(specs)
+        self.total_fanout[name] = sum(spec.fanout for spec in specs.values())
+        created: Dict[str, Node] = {}
+        for feed, spec in specs.items():
+            self._feed_specs[feed][name] = spec
+            node = self.overlays[feed].add_consumer(spec, name)
+            self._nodes[feed][name] = node
+            created[feed] = node
+        return created
+
+    def leave_feed(self, name: str, feed_id: str, graceful: bool = True) -> bool:
+        """Take ``name`` offline in one feed's overlay (audience exodus).
+
+        The subscription record survives — an exodus models the audience
+        tuning out, not unsubscribing forever — and the consumer keeps
+        serving any other feeds it participates in.  Returns whether the
+        consumer was online there (``False`` is a no-op).
+        """
+        node = self._nodes.get(feed_id, {}).get(name)
+        if node is None or not node.online:
+            return False
+        self.overlays[feed_id].go_offline(
+            node, graceful=graceful, reason="leave" if graceful else "crash"
+        )
+        return True
+
+    def rejoin_feed(self, name: str, feed_id: str) -> bool:
+        """Bring an offline participation back (rejoin after an exodus
+        or crash burst).  Returns whether anything changed."""
+        node = self._nodes.get(feed_id, {}).get(name)
+        if node is None or node.online:
+            return False
+        self.overlays[feed_id].go_online(node)
+        return True
+
+    def online_in(self, name: str, feed_id: str) -> bool:
+        """Whether ``name`` currently participates online in the feed."""
+        node = self._nodes.get(feed_id, {}).get(name)
+        return node is not None and node.online
+
+    def subscriber_names(self, feed_id: str, online_only: bool = False) -> List[str]:
+        """The feed's audience, in stable subscription order."""
+        members = self._nodes[feed_id]
+        return [
+            name
+            for name in members
+            if not online_only or members[name].online
+        ]
 
     # ------------------------------------------------------------------
     # cross-feed structure

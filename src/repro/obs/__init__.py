@@ -48,6 +48,7 @@ from repro.obs.events import (
     Event,
     EVENT_TYPES,
     FaultInjected,
+    FeedHealth,
     MaintenanceTrigger,
     MessageDrop,
     MessageSend,
@@ -57,6 +58,7 @@ from repro.obs.events import (
     OracleQuery,
     Recovery,
     Referral,
+    SoakPhase,
     SourceContact,
     StaleReferral,
     Timeout,
@@ -78,6 +80,7 @@ __all__ = [
     "Event",
     "FaultInjected",
     "FeedAttribution",
+    "FeedHealth",
     "Gauge",
     "HealthConfig",
     "HealthRecorder",
@@ -99,6 +102,7 @@ __all__ = [
     "Recovery",
     "Referral",
     "RingBuffer",
+    "SoakPhase",
     "SourceContact",
     "Span",
     "SpanRecorder",

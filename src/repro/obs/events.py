@@ -291,6 +291,36 @@ class MultipathDelivery(Event):
     paths: int
 
 
+@dataclasses.dataclass(frozen=True)
+class SoakPhase(Event):
+    """A service-soak timeline act began: ``phase`` names the act
+    (``flash-crowd``, ``exodus``, ...), ``feed`` the feed it targets
+    (empty when system-wide), ``affected`` its magnitude (joiners added,
+    leavers removed, outage rounds)."""
+
+    kind: ClassVar[str] = "soak-phase"
+
+    phase: str
+    feed: str
+    affected: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FeedHealth(Event):
+    """Per-feed health sample during a service soak: of ``online``
+    subscribers, ``rooted`` hold a path to the source and ``satisfied``
+    meet their latency constraint; ``deliveries`` counts items delivered
+    on this feed so far."""
+
+    kind: ClassVar[str] = "feed-health"
+
+    feed: str
+    online: int
+    rooted: int
+    satisfied: int
+    deliveries: int
+
+
 #: Registry of all event types by their wire ``kind``.
 EVENT_TYPES: Dict[str, Type[Event]] = {
     cls.kind: cls
@@ -314,6 +344,8 @@ EVENT_TYPES: Dict[str, Type[Event]] = {
         Recovery,
         MultipathOverlap,
         MultipathDelivery,
+        SoakPhase,
+        FeedHealth,
     )
 }
 

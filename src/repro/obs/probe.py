@@ -32,6 +32,7 @@ from repro.obs.events import (
     Detach,
     Event,
     FaultInjected,
+    FeedHealth,
     MaintenanceTrigger,
     MessageDrop,
     MessageSend,
@@ -41,6 +42,7 @@ from repro.obs.events import (
     OracleQuery,
     Recovery,
     Referral,
+    SoakPhase,
     SourceContact,
     StaleReferral,
     Timeout,
@@ -145,6 +147,17 @@ class Probe:
     ) -> None:
         """Per-round multipath delivery sample (see
         :class:`MultipathDelivery`)."""
+
+    # --- service soak ------------------------------------------------------
+
+    def soak_phase(self, phase: str, feed: str, affected: int) -> None:
+        """A service-soak timeline act began (see :class:`SoakPhase`)."""
+
+    def feed_health(
+        self, feed: str, online: int, rooted: int, satisfied: int,
+        deliveries: int,
+    ) -> None:
+        """Per-feed soak health sample (see :class:`FeedHealth`)."""
 
 
 class NullProbe(Probe):
@@ -357,6 +370,31 @@ class RecordingProbe(Probe):
                 delivered=delivered,
                 online=online,
                 paths=paths,
+            )
+        )
+
+    # --- service soak ------------------------------------------------------
+
+    def soak_phase(self, phase: str, feed: str, affected: int) -> None:
+        self._record(
+            SoakPhase(
+                round=self._round, phase=phase, feed=feed, affected=affected
+            )
+        )
+        self.registry.counter(f"soak.phase_{phase}").inc()
+
+    def feed_health(
+        self, feed: str, online: int, rooted: int, satisfied: int,
+        deliveries: int,
+    ) -> None:
+        self._record(
+            FeedHealth(
+                round=self._round,
+                feed=feed,
+                online=online,
+                rooted=rooted,
+                satisfied=satisfied,
+                deliveries=deliveries,
             )
         )
 

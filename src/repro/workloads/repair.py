@@ -48,6 +48,19 @@ def repair_population(
     modified) and a :class:`RepairReport`.
     """
     repaired = list(population)
+    # Fail fast on populations no amount of relaxation can fix: latency
+    # relaxation never creates capacity, so unless the source's slots
+    # plus every member's fanout can seat everyone, the loop below would
+    # push latencies up until max_relaxations with each pass re-scanning
+    # an ever-taller class ladder (a quadratic grind the service soak's
+    # property tests caught on starved per-feed fanout splits).
+    seats = source_fanout + sum(spec.fanout for _, spec in repaired)
+    if seats < len(repaired):
+        raise ConfigurationError(
+            f"population is unrepairable: {len(repaired)} members but only "
+            f"{seats} seats (source fanout {source_fanout} + member "
+            "fanouts); no latency relaxation can create capacity"
+        )
     relaxations = 0
     while True:
         specs = [spec for _, spec in repaired]

@@ -21,6 +21,7 @@ from repro.obs import (
     Detach,
     EVENT_TYPES,
     FaultInjected,
+    FeedHealth,
     MaintenanceTrigger,
     MessageDrop,
     MessageSend,
@@ -34,6 +35,7 @@ from repro.obs import (
     RecordingProbe,
     Recovery,
     Referral,
+    SoakPhase,
     SourceContact,
     StaleReferral,
     Timeout,
@@ -71,6 +73,9 @@ SAMPLE_EVENTS = [
     Recovery(round=9, fault_round=8, rounds=1),
     MultipathOverlap(round=10, node=3, path_kept=0, path_detached=1, shared=2),
     MultipathDelivery(round=10, delivered=22, online=24, paths=2),
+    SoakPhase(round=11, phase="flash-crowd", feed="news", affected=360),
+    FeedHealth(round=11, feed="news", online=396, rooted=380, satisfied=350,
+               deliveries=6100),
 ]
 
 
