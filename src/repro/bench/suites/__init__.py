@@ -11,6 +11,7 @@ matters in that a name may be registered once.
 from repro.bench.suites import (
     chain_index,
     chaos,
+    continuous,
     figures,
     multipath,
     obs_overhead,
@@ -23,6 +24,7 @@ from repro.bench.suites import (
 __all__ = [
     "chain_index",
     "chaos",
+    "continuous",
     "figures",
     "multipath",
     "obs_overhead",

@@ -1,0 +1,130 @@
+"""Continuous-time engine benchmark: event throughput + ms staleness.
+
+``time.continuous`` tracks the two things the continuous clock adds on
+top of the rounds engine (:mod:`repro.sim.continuous`):
+
+* **events/sec** — raw discrete-event throughput of a build over the
+  ``geo-3region`` profile: every oracle contact, attach handshake and
+  maintenance probe is a timestamped event, so this is the price of the
+  wall-clock realism relative to the synchronous loop;
+* **ms-staleness percentiles** — the seeded, deterministic p50/p99 of
+  wall-clock staleness over the built overlay, exact-gated like every
+  other simulation output: a change here means the latency substrate or
+  the engine's event ordering changed, not noise.
+
+The run is executed twice and the deterministic outputs must be
+bit-identical between the two passes — the bench *fails* (not regresses)
+if the engine has picked up run-to-run nondeterminism, which is the
+invariant every golden-seed test in ``tests/test_continuous_time.py``
+builds on.
+
+Scales: quick N=600 (CI smoke, the committed baseline), full N=2000
+(the BENCH_HISTORY.jsonl trajectory).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.bench.registry import BenchContext, BenchResult, Metric, register
+from repro.bench.suites.scale import scale_workload
+from repro.sim.runner import SimulationConfig, make_simulation
+
+
+def run_continuous(population: int, rounds: int, seed: int):
+    """One timed continuous-mode build; returns ``(result, elapsed)``."""
+    workload = scale_workload(population, seed)
+    config = SimulationConfig(
+        algorithm="hybrid",
+        oracle="random-delay",
+        oracle_realization="sharded",
+        seed=seed,
+        max_rounds=rounds,
+        stop_at_convergence=False,
+        time_model="continuous:geo-3region",
+    )
+    simulation = make_simulation(workload, config)
+    start = time.perf_counter()
+    result = simulation.run()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+@register(
+    "time.continuous",
+    tags=("core", "perf", "time"),
+    metrics={
+        "events_per_sec": Metric(
+            unit="events/s",
+            higher_is_better=True,
+            tolerance=0.35,
+            description="continuous-engine discrete-event throughput",
+        ),
+        "staleness_ms_p50": Metric(
+            unit="ms",
+            higher_is_better=False,
+            tolerance=0.0,
+            deterministic=True,
+            description="median wall-clock staleness (seeded, exact)",
+        ),
+        "staleness_ms_p99": Metric(
+            unit="ms",
+            higher_is_better=False,
+            tolerance=0.0,
+            deterministic=True,
+            description="tail wall-clock staleness (seeded, exact)",
+        ),
+        "satisfied_fraction": Metric(
+            higher_is_better=True,
+            tolerance=0.0,
+            deterministic=True,
+            description="end-state constraint satisfaction (seeded, exact)",
+        ),
+    },
+    description="continuous-time engine over geo-3region: events/sec + "
+    "deterministic ms-staleness",
+)
+def time_continuous(ctx: BenchContext) -> BenchResult:
+    """Timed continuous build, repeated to pin run-to-run determinism."""
+    population = int(ctx.opt("population", 600 if ctx.quick else 2000))
+    rounds = int(ctx.opt("rounds", 40 if ctx.quick else 80))
+    seed = int(ctx.opt("seed", 0))
+
+    failures: List[str] = []
+    first, elapsed = run_continuous(population, rounds, seed)
+    second, _ = run_continuous(population, rounds, seed)
+    for field in (
+        "staleness_ms_p50",
+        "staleness_ms_p99",
+        "events_fired",
+        "sim_time_ms",
+        "attaches",
+        "detaches",
+    ):
+        a, b = getattr(first, field), getattr(second, field)
+        if a != b:
+            failures.append(
+                f"nondeterministic {field}: {a!r} != {b!r} across "
+                "back-to-back runs of one seed"
+            )
+
+    metrics: Dict[str, float] = {
+        "events_per_sec": first.events_fired / elapsed,
+        "staleness_ms_p50": first.staleness_ms_p50 or 0.0,
+        "staleness_ms_p99": first.staleness_ms_p99 or 0.0,
+        "satisfied_fraction": first.final_quality.satisfied_fraction,
+    }
+    detail = {
+        "benchmark": "continuous",
+        "population": population,
+        "rounds": rounds,
+        "seed": seed,
+        "profile": "geo-3region",
+        "events_fired": first.events_fired,
+        "sim_time_ms": first.sim_time_ms,
+        "seconds": elapsed,
+        "attaches": first.attaches,
+        "detaches": first.detaches,
+    }
+    return BenchResult(metrics=metrics, detail=detail, failures=tuple(failures))

@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Eight commands cover the common workflows (docs/CLI.md is the full
+Nine commands cover the common workflows (docs/CLI.md is the full
 reference):
 
 ``build``
     Run one construction and report the outcome (optionally render the
     tree, run a feed-delivery check, or export a JSONL protocol trace
-    with ``--trace-out``).
+    with ``--trace-out``).  ``--time-model continuous:<profile>`` swaps
+    the synchronous round clock for the continuous-time engine over a
+    geographic latency substrate and adds wall-clock-ms staleness
+    percentiles to the report (docs/TIMING.md).
 ``sweep``
     A multi-seed (family × oracle) sweep with the repeat-median
     protocol, optionally fanned out to worker processes
@@ -34,6 +37,11 @@ reference):
     report`` (self-contained HTML/markdown report with staleness
     attribution, health sparklines and critical paths) and ``obs top``
     (terminal per-round health view).
+``latency``
+    Inspect the geographic latency substrate behind the continuous time
+    model: list profiles, print a profile's parameters, sampled one-way
+    delay percentiles, triangle-inequality violation rate and
+    (optionally) the full PoP matrix (docs/TIMING.md).
 ``bench``
     The benchmark harness (``bench run`` / ``list`` / ``compare``):
     registry-driven benchmarks with normalized records, an append-only
@@ -44,6 +52,8 @@ Examples::
 
     python -m repro.cli build --workload BiCorr --algorithm hybrid --render
     python -m repro.cli build --workload Rand --trace-out run.jsonl
+    python -m repro.cli build --time-model continuous:geo-3region
+    python -m repro.cli latency --profile geo-3region --matrix
     python -m repro.cli sweep --families paper --oracles all --workers 4
     python -m repro.cli sweep --families Rand --repeats 10 --faults 'crash@60:0.2'
     python -m repro.cli obs summarize run.jsonl
@@ -67,7 +77,7 @@ from repro.core.constraints import parse_population
 from repro.core.protocol import ProtocolConfig
 from repro.core.sufficiency import find_feasible_configuration, sufficiency_holds
 from repro.sim.churn import ChurnConfig
-from repro.sim.runner import ALGORITHMS, Simulation, SimulationConfig
+from repro.sim.runner import ALGORITHMS, SimulationConfig
 from repro.oracles.base import oracle_names
 from repro.workloads import family_names, make as make_workload
 
@@ -103,6 +113,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--max-rounds", type=int, default=6000)
+    build.add_argument(
+        "--time-model",
+        default="rounds",
+        metavar="MODEL",
+        help="'rounds' (default, the paper's synchronous clock) or "
+        "'continuous:<profile>' — run the continuous-time engine over a "
+        "geographic latency profile ('repro latency --list' names them) "
+        "and report wall-clock-ms staleness (docs/TIMING.md)",
+    )
     build.add_argument(
         "--paths",
         type=int,
@@ -180,6 +199,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--repeats", type=int, default=5)
     sweep.add_argument("--base-seed", type=int, default=0)
     sweep.add_argument("--max-rounds", type=int, default=6000)
+    sweep.add_argument(
+        "--time-model",
+        default="rounds",
+        metavar="MODEL",
+        help="'rounds' (default) or 'continuous:<profile>' — run every "
+        "cell on the continuous-time engine (bit-identical serial vs "
+        "--workers, same as rounds mode)",
+    )
     sweep.add_argument(
         "--paths",
         type=int,
@@ -296,6 +323,14 @@ def _build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--publish-rate", type=float, default=0.5)
     soak.add_argument("--burst-size", type=int, default=4)
     soak.add_argument("--pull-period", type=float, default=1.0)
+    soak.add_argument(
+        "--time-model",
+        default="rounds",
+        metavar="MODEL",
+        help="'rounds' (default) or 'continuous:<profile>' — route every "
+        "feed's hop delays through the profile's geo latency model and "
+        "report staleness SLOs in milliseconds too (docs/TIMING.md)",
+    )
     soak.add_argument("--reuse-bias", type=float, default=0.8)
     soak.add_argument(
         "--recover-threshold",
@@ -339,6 +374,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record soak-phase and feed-health events (plus every "
         "protocol event) of the first repeat and write a JSONL trace "
         "for 'repro obs summarize'",
+    )
+
+    latency = commands.add_parser(
+        "latency",
+        help="inspect the geo latency profiles behind the continuous "
+        "time model",
+    )
+    latency.add_argument(
+        "--profile",
+        default="geo-3region",
+        metavar="NAME",
+        help="profile to describe (see --list)",
+    )
+    latency.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available profiles and exit",
+    )
+    latency.add_argument("--seed", type=int, default=0)
+    latency.add_argument(
+        "--samples",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="endpoint pairs to sample for the one-way delay percentiles",
+    )
+    latency.add_argument(
+        "--triangle-tolerance",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="slack when checking the triangle inequality over PoP "
+        "triples (0.1 = direct may exceed any relay path by 10%%)",
+    )
+    latency.add_argument(
+        "--matrix",
+        action="store_true",
+        help="print the full PoP-to-PoP one-way matrix",
+    )
+    latency.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the profile description as JSON",
     )
 
     obs = commands.add_parser(
@@ -402,6 +481,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
     else:
         workload = make_workload(args.workload, size=args.size, seed=args.seed)
     print(workload.describe())
+    from repro.sim.timemodel import parse_time_model
+
+    time_model = parse_time_model(args.time_model)
+    geo_profile = None
+    if time_model.continuous:
+        from repro.locality.geo import get_profile
+
+        geo_profile = get_profile(time_model.profile)
     probe = None
     if args.trace_out:
         from repro.obs import RecordingProbe
@@ -411,7 +498,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
     if args.faults:
         from repro.faults import parse_fault_plan
 
-        faults = parse_fault_plan(args.faults)
+        faults = parse_fault_plan(
+            args.faults,
+            ms_per_round=(
+                geo_profile.round_ms if geo_profile is not None else None
+            ),
+        )
     protocol = ProtocolConfig(
         source_backoff=args.harden, requeue_stale_referrals=args.harden
     )
@@ -420,6 +512,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
             print(
                 "error: --churn is not supported with --paths > 1 "
                 "(multipath membership dynamics come from --faults plans)",
+                file=sys.stderr,
+            )
+            return 2
+        if time_model.continuous:
+            print(
+                "error: the continuous time model is single-overlay; "
+                "--time-model continuous:* cannot combine with --paths > 1",
                 file=sys.stderr,
             )
             return 2
@@ -445,8 +544,11 @@ def _cmd_build(args: argparse.Namespace) -> int:
         # timeseries plus round-domain staleness attribution.
         health=health_config,
         attribution=bool(args.trace_out),
+        time_model=args.time_model,
     )
-    simulation = Simulation(workload, config, probe=probe)
+    from repro.sim.runner import make_simulation
+
+    simulation = make_simulation(workload, config, probe=probe)
     result = simulation.run()
     print(
         ascii_table(
@@ -462,12 +564,39 @@ def _cmd_build(args: argparse.Namespace) -> int:
             ],
         )
     )
+    if time_model.continuous:
+
+        def _ms(value):
+            return f"{value:.1f}" if value is not None else "-"
+
+        print(
+            ascii_table(
+                [
+                    "profile",
+                    "sim time (ms)",
+                    "events",
+                    "staleness p50 (ms)",
+                    "staleness p99 (ms)",
+                ],
+                [
+                    [
+                        time_model.profile,
+                        _ms(result.sim_time_ms),
+                        result.events_fired,
+                        _ms(result.staleness_ms_p50),
+                        _ms(result.staleness_ms_p99),
+                    ]
+                ],
+            )
+        )
     if faults is not None:
         recover = (
             result.time_to_recover
             if result.time_to_recover is not None
             else "never"
         )
+        if result.time_to_recover_ms is not None:
+            recover = f"{recover} ({result.time_to_recover_ms:.0f}ms)"
         print(
             ascii_table(
                 ["fault events", "availability", "time to recover"],
@@ -491,8 +620,21 @@ def _cmd_build(args: argparse.Namespace) -> int:
             from repro.obs import SpanRecorder
 
             tracer = SpanRecorder()
+        hop_model = None
+        if time_model.continuous:
+            # Delivery hops follow the same geo substrate the build ran
+            # on, so the recorded spans carry real per-edge latencies.
+            from repro.sim.continuous import hop_delay_from_geo
+
+            hop_model = hop_delay_from_geo(
+                simulation.geo, geo_profile.pull_period_ms
+            )
         report = disseminate(
-            simulation.overlay, duration=60.0, seed=args.seed, tracer=tracer
+            simulation.overlay,
+            duration=60.0,
+            seed=args.seed,
+            tracer=tracer,
+            hop_delay_model=hop_model,
         )
         print(
             f"\ndelivery check: {report.satisfied_fraction:.0%} within "
@@ -512,6 +654,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
                 "oracle": args.oracle,
                 "seed": args.seed,
                 "rounds": result.rounds_run,
+                "time_model": args.time_model,
             },
             health=(
                 simulation.health.records()
@@ -646,11 +789,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.sim.timemodel import parse_time_model
+
+    time_model = parse_time_model(args.time_model)
+    ms_per_round = None
+    if time_model.continuous:
+        from repro.locality.geo import get_profile
+
+        ms_per_round = get_profile(time_model.profile).round_ms
     faults = None
     if args.faults:
         from repro.faults import parse_fault_plan
 
-        faults = parse_fault_plan(args.faults)
+        faults = parse_fault_plan(args.faults, ms_per_round=ms_per_round)
     keys = [(family, oracle) for family in families for oracle in oracles]
     items = []
     for family, oracle in keys:
@@ -664,6 +815,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             # past convergence (otherwise the plan would never fire).
             stop_at_convergence=faults is None,
             paths=args.paths,
+            time_model=args.time_model,
         )
         items.extend(
             repeat_items(
@@ -799,11 +951,25 @@ def _cmd_serve_soak(args: argparse.Namespace) -> int:
     feed_ids = tuple(
         chunk.strip() for chunk in args.feeds.split(",") if chunk.strip()
     )
+    from repro.sim.timemodel import parse_time_model
+
     try:
+        time_model = parse_time_model(args.time_model)
+        ms_per_round = None
+        if time_model.continuous:
+            from repro.locality.geo import get_profile
+
+            # One soak round advances feed time by one pull period, so
+            # that is the wall-clock length of a round here.
+            ms_per_round = get_profile(time_model.profile).pull_period_ms
         timeline = (
             () if args.timeline == "none" else parse_timeline(args.timeline)
         )
-        faults = parse_fault_plan(args.faults) if args.faults else None
+        faults = (
+            parse_fault_plan(args.faults, ms_per_round=ms_per_round)
+            if args.faults
+            else None
+        )
         base = SoakConfig(
             feed_ids=feed_ids,
             consumer_count=args.consumers,
@@ -818,6 +984,7 @@ def _cmd_serve_soak(args: argparse.Namespace) -> int:
             reuse_bias=args.reuse_bias,
             recover_threshold=args.recover_threshold,
             backend=args.backend,
+            time_model=args.time_model,
         )
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -864,7 +1031,13 @@ def _cmd_serve_soak(args: argparse.Namespace) -> int:
             f"over {len(summary.feeds)} feeds, availability "
             f"{summary.availability:.1%}, "
             + (
-                f"recovered {summary.time_to_recover} rounds after the "
+                f"recovered {summary.time_to_recover} rounds"
+                + (
+                    f" ({summary.time_to_recover_ms:.0f}ms)"
+                    if summary.time_to_recover_ms is not None
+                    else ""
+                )
+                + " after the "
                 f"last disruption (round {summary.last_disruption_round})"
                 if summary.time_to_recover is not None
                 else "not fully recovered"
@@ -884,10 +1057,16 @@ def _cmd_serve_soak(args: argparse.Namespace) -> int:
                 f"delay units"
             )
         for stats in summary.feeds:
+            ms = (
+                f" ({stats.p50_ms:.0f}/{stats.p99_ms:.0f}/"
+                f"{stats.p999_ms:.0f}ms)"
+                if stats.p99_ms is not None
+                else ""
+            )
             print(
                 f"  {stats.feed}: {stats.delivered} deliveries, staleness "
                 f"p50/p99/p999 {stats.p50:.2f}/{stats.p99:.2f}/"
-                f"{stats.p999:.2f}, availability {stats.availability:.1%}, "
+                f"{stats.p999:.2f}{ms}, availability {stats.availability:.1%}, "
                 f"{stats.online} online"
                 + (" (converged)" if stats.converged else "")
             )
@@ -918,6 +1097,117 @@ def _cmd_serve_soak(args: argparse.Namespace) -> int:
             },
         )
         print(f"wrote {count} events to {args.trace_out}")
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from repro.core.errors import ConfigurationError
+    from repro.locality.geo import (
+        PROFILES,
+        GeoLatencyModel,
+        get_profile,
+        profile_names,
+    )
+
+    if args.list:
+        rows = [
+            [
+                name,
+                len(PROFILES[name].regions),
+                PROFILES[name].pop_count,
+                f"{PROFILES[name].round_ms:g}",
+                f"{PROFILES[name].pull_period_ms:g}",
+            ]
+            for name in profile_names()
+        ]
+        print(
+            ascii_table(
+                ["profile", "regions", "pops", "round ms", "pull period ms"],
+                rows,
+            )
+        )
+        return 0
+    try:
+        profile = get_profile(args.profile)
+        model = GeoLatencyModel(profile, args.seed)
+        violating = model.triangle_violations(
+            tolerance=args.triangle_tolerance
+        )
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"profile {profile.name}: {len(profile.regions)} regions x "
+        f"{profile.pops_per_region} PoPs, round tick {profile.round_ms:g}ms, "
+        f"pull period {profile.pull_period_ms:g}ms, seed {args.seed}"
+    )
+    print(
+        "regions (weights): "
+        + ", ".join(
+            f"{name} ({weight:g})"
+            for name, weight in zip(profile.regions, profile.region_weights)
+        )
+    )
+    samples = sorted(
+        model.sample_one_way_ms(max(1, args.samples), sample_seed=args.seed)
+    )
+
+    def nearest_rank(q: float) -> float:
+        index = max(0, math.ceil(q / 100.0 * len(samples)) - 1)
+        return samples[min(index, len(samples) - 1)]
+
+    percentiles = {
+        "min": samples[0],
+        "p50": nearest_rank(50.0),
+        "p90": nearest_rank(90.0),
+        "p99": nearest_rank(99.0),
+        "max": samples[-1],
+    }
+    print(
+        ascii_table(
+            ["one-way ms"] + list(percentiles),
+            [["sampled pairs"] + [f"{value:.1f}" for value in percentiles.values()]],
+        )
+    )
+    print(
+        f"triangle inequality: {violating:.1%} of sampled PoP triples "
+        f"violate at tolerance {args.triangle_tolerance:g}"
+    )
+    if args.matrix:
+        labels = [
+            f"{profile.regions[profile.pop_region(pop)]}/{pop % profile.pops_per_region}"
+            for pop in range(profile.pop_count)
+        ]
+        print()
+        print(
+            ascii_table(
+                ["pop"] + labels,
+                [
+                    [labels[a]] + [f"{ms:.1f}" for ms in row]
+                    for a, row in enumerate(model.matrix)
+                ],
+            )
+        )
+    if args.json:
+        payload = {
+            "profile": profile.name,
+            "seed": args.seed,
+            "regions": list(profile.regions),
+            "region_weights": list(profile.region_weights),
+            "pops_per_region": profile.pops_per_region,
+            "round_ms": profile.round_ms,
+            "pull_period_ms": profile.pull_period_ms,
+            "one_way_ms": percentiles,
+            "triangle_violation_fraction": violating,
+            "triangle_tolerance": args.triangle_tolerance,
+            "matrix": model.matrix,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote profile description to {args.json}")
     return 0
 
 
@@ -1058,6 +1348,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "serve-soak":
         return _cmd_serve_soak(args)
+    if args.command == "latency":
+        return _cmd_latency(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "bench":

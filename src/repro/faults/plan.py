@@ -235,7 +235,9 @@ class NullFaultPlan(FaultPlan):
     """
 
 
-def parse_fault_plan(text: str) -> FaultPlan:
+def parse_fault_plan(
+    text: str, ms_per_round: Optional[float] = None
+) -> FaultPlan:
     """Parse the CLI mini-DSL into a :class:`FaultPlan`.
 
     Comma-separated specs, each ``name@round[:arg[:arg]]``::
@@ -249,8 +251,19 @@ def parse_fault_plan(text: str) -> FaultPlan:
         partition@80:20         # 2-way oracle view split, heals at 100
         partition@80:20:3       # 3-way split
 
+    **Millisecond windows.**  Under a continuous time model
+    (``--time-model continuous:<profile>``, see ``docs/TIMING.md``)
+    every round/duration figure may instead carry an ``ms`` suffix —
+    ``crash@6000ms:0.2:rejoin=1500ms`` or ``source-outage@8000ms:1000ms``
+    — and is converted to round ticks with the profile's ``round_ms``
+    (``ms_per_round``), rounding to the nearest tick with a one-tick
+    floor.  An ``ms`` token without a continuous time model is a
+    configuration error, since there is no wall clock to anchor it to.
+
     >>> parse_fault_plan("crash@60:0.2,source-outage@80:10").specs[0].fault
     'mass-crash'
+    >>> parse_fault_plan("crash@6000ms:0.2", ms_per_round=100.0).specs[0].round
+    60
     """
     specs = []
     for chunk in text.split(","):
@@ -260,7 +273,7 @@ def parse_fault_plan(text: str) -> FaultPlan:
         try:
             name, _, rest = chunk.partition("@")
             args = rest.split(":") if rest else []
-            specs.append(_parse_spec(name.strip(), args))
+            specs.append(_parse_spec(name.strip(), args, ms_per_round))
         except (ValueError, IndexError) as error:
             raise ConfigurationError(
                 f"cannot parse fault spec {chunk!r}: {error}"
@@ -270,8 +283,22 @@ def parse_fault_plan(text: str) -> FaultPlan:
     return FaultPlan(specs=tuple(specs))
 
 
-def _parse_spec(name: str, args) -> FaultSpec:
-    round_ = int(args[0])
+def _rounds(token: str, ms_per_round: Optional[float]) -> int:
+    """A round count from a DSL token: plain rounds or ``<float>ms``."""
+    token = token.strip()
+    if token.endswith("ms"):
+        if ms_per_round is None:
+            raise ConfigurationError(
+                f"fault window {token!r} is in milliseconds, but the run "
+                "has no wall clock — ms windows need "
+                "--time-model continuous:<profile>"
+            )
+        return max(1, round(float(token[:-2]) / ms_per_round))
+    return int(token)
+
+
+def _parse_spec(name: str, args, ms_per_round: Optional[float]) -> FaultSpec:
+    round_ = _rounds(args[0], ms_per_round)
     if name in ("crash", "leave"):
         fraction = float(args[1]) if len(args) > 1 else 0.2
         rejoin = None
@@ -279,7 +306,7 @@ def _parse_spec(name: str, args) -> FaultSpec:
             key, _, value = extra.partition("=")
             if key != "rejoin":
                 raise ValueError(f"unknown crash option {extra!r}")
-            rejoin = int(value)
+            rejoin = _rounds(value, ms_per_round)
         return MassCrash(
             round=round_,
             fraction=fraction,
@@ -287,14 +314,22 @@ def _parse_spec(name: str, args) -> FaultSpec:
             rejoin_after=rejoin,
         )
     if name == "source-outage":
-        return SourceOutage(round=round_, duration=int(args[1]))
+        return SourceOutage(
+            round=round_, duration=_rounds(args[1], ms_per_round)
+        )
     if name == "oracle-outage":
-        return OracleOutage(round=round_, duration=int(args[1]))
+        return OracleOutage(
+            round=round_, duration=_rounds(args[1], ms_per_round)
+        )
     if name == "stale-view":
         return StaleOracleView(
-            round=round_, duration=int(args[1]), staleness=int(args[2])
+            round=round_,
+            duration=_rounds(args[1], ms_per_round),
+            staleness=_rounds(args[2], ms_per_round),
         )
     if name == "partition":
         sides = int(args[2]) if len(args) > 2 else 2
-        return ViewPartition(round=round_, duration=int(args[1]), sides=sides)
+        return ViewPartition(
+            round=round_, duration=_rounds(args[1], ms_per_round), sides=sides
+        )
     raise ValueError(f"unknown fault {name!r}")

@@ -205,8 +205,16 @@ def disseminate(
     seed: int = 0,
     pull_period: float = 1.0,
     tracer=None,
+    hop_delay_model=None,
 ) -> StalenessReport:
-    """Convenience one-shot: run dissemination over a built overlay."""
+    """Convenience one-shot: run dissemination over a built overlay.
+
+    ``hop_delay_model`` passes through to
+    :class:`LagOverDissemination` — the continuous-time mode supplies
+    :func:`repro.sim.continuous.hop_delay_from_geo` here so every push
+    hop (and so every recorded delivery span) carries the latency
+    substrate's per-edge milliseconds instead of a uniform draw.
+    """
     if source is None:
         source = FeedSource()
     engine = LagOverDissemination(
@@ -215,5 +223,6 @@ def disseminate(
         random.Random(seed),
         pull_period=pull_period,
         tracer=tracer,
+        hop_delay_model=hop_delay_model,
     )
     return engine.run(duration)

@@ -5,15 +5,27 @@ from repro.locality.experiment import (
     distance_hop_delay,
     run_pair,
 )
+from repro.locality.geo import (
+    GeoLatencyModel,
+    GeoProfile,
+    PROFILES,
+    get_profile,
+    profile_names,
+)
 from repro.locality.model import LocalityModel, Placement, edge_cost_metrics
 from repro.locality.oracle import LocalityDelayOracle
 
 __all__ = [
+    "GeoLatencyModel",
+    "GeoProfile",
     "LocalityDelayOracle",
     "LocalityModel",
     "LocalityOutcome",
+    "PROFILES",
     "Placement",
     "distance_hop_delay",
     "edge_cost_metrics",
+    "get_profile",
+    "profile_names",
     "run_pair",
 ]

@@ -1,0 +1,376 @@
+"""Geo-realistic latency substrate: region/PoP latency matrices.
+
+The continuous-time engine (:mod:`repro.sim.continuous`) needs per-edge
+latencies in *wall-clock milliseconds*, not hops.  This module supplies
+them the way measurement-driven cloud-routing systems do: a small set of
+**regions** (continents / cloud geographies), each hosting a few
+**PoPs** (points of presence), with a symmetric one-way latency matrix
+between PoPs — intra-PoP latencies are sub-millisecond-ish LAN figures,
+intra-region latencies metro-scale, and inter-region latencies follow a
+per-region-pair base drawn from published backbone RTTs.  Every node is
+hashed to a PoP (weighted by region population share) and carries a
+per-node last-mile latency on top.
+
+Everything is **synthetic and seeded** — no external latency database is
+required, and two models built from the same ``(profile, seed)`` are
+bit-identical.  Determinism is *order-independent*: a node's placement
+and a pair's jitter derive from SHA-256 of ``(seed, node_id)`` /
+``(seed, pair)`` (:func:`repro.sim.rng.derive_seed`), never from the
+sequence of lookups, so churn rejoins, flash-crowd joiners, and pooled
+sweep workers all see the same coordinates no matter who asks first.
+
+The profile format, the RNG-stream guarantees, and the worked
+hop-to-milliseconds example live in ``docs/TIMING.md``; ``repro
+latency`` is the CLI inspection surface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.sim.rng import derive_seed
+
+#: Pseudo-endpoint id for the partner directory ("the oracle PoP"): the
+#: oracle is *placed* like any participant so oracle-contact legs get a
+#: real latency, but it is not a node of the overlay.
+ORACLE_ENDPOINT = -1
+
+#: The source's node id (mirrors repro.core.node.SOURCE_ID without the
+#: import — placements are plain data).
+SOURCE_ENDPOINT = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class GeoProfile:
+    """One named latency world: regions, PoPs, and distribution bounds.
+
+    All latencies are **one-way milliseconds**.  ``inter_region_ms``
+    maps unordered region-index pairs ``(i, j)`` (``i < j``) to the base
+    backbone latency between the two regions; intra-region PoP pairs
+    draw uniformly from ``intra_region_ms`` and a PoP to itself costs a
+    draw from ``intra_pop_ms``.  ``jitter`` widens every PoP-pair figure
+    by a fixed per-pair factor in ``[1 - jitter, 1 + jitter]`` (drawn
+    once at matrix build, so the matrix stays symmetric and frozen).
+    ``last_mile_ms`` bounds the per-node access-link latency added to
+    both endpoints of every edge.
+
+    ``round_ms`` is the continuous engine's bookkeeping tick — the
+    wall-clock length it assigns one construction round (churn, oracle
+    refresh, fault injection, and measurement all happen on this tick;
+    see ``docs/TIMING.md``).  ``pull_period_ms`` is the feed delay unit
+    ``T`` in milliseconds, the bridge from hop-staleness to
+    ms-staleness.
+    """
+
+    name: str
+    regions: Tuple[str, ...]
+    region_weights: Tuple[float, ...]
+    inter_region_ms: Mapping[Tuple[int, int], float]
+    pops_per_region: int = 3
+    intra_pop_ms: Tuple[float, float] = (0.3, 2.0)
+    intra_region_ms: Tuple[float, float] = (4.0, 18.0)
+    last_mile_ms: Tuple[float, float] = (1.0, 12.0)
+    jitter: float = 0.1
+    round_ms: float = 100.0
+    pull_period_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ConfigurationError("a profile needs at least one region")
+        if len(self.region_weights) != len(self.regions):
+            raise ConfigurationError(
+                "region_weights must match regions "
+                f"({len(self.region_weights)} vs {len(self.regions)})"
+            )
+        if any(w <= 0 for w in self.region_weights):
+            raise ConfigurationError("region weights must be > 0")
+        if self.pops_per_region < 1:
+            raise ConfigurationError("pops_per_region must be >= 1")
+        for low, high in (
+            self.intra_pop_ms,
+            self.intra_region_ms,
+            self.last_mile_ms,
+        ):
+            if not 0 <= low <= high:
+                raise ConfigurationError(
+                    f"latency bounds need 0 <= low <= high, got ({low}, {high})"
+                )
+        if not 0 <= self.jitter < 1:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        if self.round_ms <= 0 or self.pull_period_ms <= 0:
+            raise ConfigurationError("round_ms and pull_period_ms must be > 0")
+        for i in range(len(self.regions)):
+            for j in range(i + 1, len(self.regions)):
+                if (i, j) not in self.inter_region_ms:
+                    raise ConfigurationError(
+                        f"inter_region_ms lacks the ({i}, {j}) pair"
+                    )
+
+    @property
+    def pop_count(self) -> int:
+        return len(self.regions) * self.pops_per_region
+
+    def pop_region(self, pop: int) -> int:
+        """Region index hosting PoP ``pop``."""
+        return pop // self.pops_per_region
+
+
+def _ring_profile(
+    name: str,
+    regions: Sequence[str],
+    weights: Sequence[float],
+    hop_ms: float,
+    **overrides,
+) -> GeoProfile:
+    """A profile whose regions sit on a ring: the base latency between
+    two regions is ``hop_ms`` per ring step (shortest way around) — by
+    construction these bases satisfy the triangle inequality, so any
+    violations a built matrix flags come from jitter, not geometry."""
+    n = len(regions)
+    inter = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            steps = min(j - i, n - (j - i))
+            inter[(i, j)] = hop_ms * steps
+    return GeoProfile(
+        name=name,
+        regions=tuple(regions),
+        region_weights=tuple(weights),
+        inter_region_ms=inter,
+        **overrides,
+    )
+
+
+#: Built-in profiles, by name (the ``continuous:<profile>`` CLI suffix).
+PROFILES: Dict[str, GeoProfile] = {
+    # Three cloud geographies with realistic one-way backbone figures
+    # (US<->EU ~ 45 ms, US<->APAC ~ 75 ms, EU<->APAC ~ 110 ms one-way).
+    "geo-3region": GeoProfile(
+        name="geo-3region",
+        regions=("us", "eu", "apac"),
+        region_weights=(0.45, 0.3, 0.25),
+        inter_region_ms={(0, 1): 45.0, (0, 2): 75.0, (1, 2): 110.0},
+    ),
+    # Five regions on a backbone ring, 40 ms per ring step.
+    "geo-5region": _ring_profile(
+        "geo-5region",
+        ("us-east", "us-west", "eu", "apac", "sa"),
+        (0.3, 0.2, 0.25, 0.15, 0.1),
+        hop_ms=40.0,
+        pops_per_region=2,
+    ),
+    # One metro region: a LAN/metro world where the round tick dominates.
+    "metro": GeoProfile(
+        name="metro",
+        regions=("metro",),
+        region_weights=(1.0,),
+        inter_region_ms={},
+        pops_per_region=4,
+        intra_region_ms=(1.0, 6.0),
+        last_mile_ms=(0.2, 3.0),
+        round_ms=20.0,
+        pull_period_ms=200.0,
+    ),
+}
+
+
+def profile_names() -> List[str]:
+    return sorted(PROFILES)
+
+
+def get_profile(name: str) -> GeoProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown latency profile {name!r}; "
+            f"choose from {profile_names()}"
+        ) from None
+
+
+class GeoLatencyModel:
+    """Seeded, order-independent per-edge one-way latencies in ms.
+
+    The model is built in two layers:
+
+    * the **PoP matrix** — one symmetric ``pop_count x pop_count`` table
+      of one-way ms figures, drawn once at construction from the
+      ``geo-matrix`` stream (a handful of draws; the matrix is tiny);
+    * **per-node placement** — each endpoint id hashes to a PoP and a
+      last-mile ms via :func:`~repro.sim.rng.derive_seed`, so lookups
+      are pure functions of ``(seed, id)`` and never depend on query
+      order or on which worker process asks.
+
+    The source (id 0) and the oracle (:data:`ORACLE_ENDPOINT`) are
+    pinned to PoP 0 of the heaviest region with zero last mile — they
+    model well-provisioned infrastructure, not eyeballs.
+    """
+
+    def __init__(self, profile: GeoProfile, seed: int) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._matrix = self._build_matrix()
+        self._placements: Dict[int, Tuple[int, float]] = {}
+        # Cumulative weights for the weighted PoP choice.
+        total = sum(profile.region_weights)
+        self._cum_weights: List[float] = []
+        acc = 0.0
+        for weight in profile.region_weights:
+            acc += weight / total
+            self._cum_weights.append(acc)
+        heaviest = max(
+            range(len(profile.regions)),
+            key=lambda r: (profile.region_weights[r], -r),
+        )
+        self._infra_pop = heaviest * profile.pops_per_region
+
+    # -- matrix ---------------------------------------------------------
+
+    def _build_matrix(self) -> List[List[float]]:
+        profile = self.profile
+        rng = random.Random(
+            derive_seed(self.seed, f"geo-matrix/{profile.name}")
+        )
+        n = profile.pop_count
+        matrix = [[0.0] * n for _ in range(n)]
+        for a in range(n):
+            for b in range(a, n):
+                ra, rb = profile.pop_region(a), profile.pop_region(b)
+                if a == b:
+                    base = rng.uniform(*profile.intra_pop_ms)
+                elif ra == rb:
+                    base = rng.uniform(*profile.intra_region_ms)
+                else:
+                    pair = (ra, rb) if ra < rb else (rb, ra)
+                    base = profile.inter_region_ms[pair]
+                factor = 1.0 + rng.uniform(-profile.jitter, profile.jitter)
+                matrix[a][b] = matrix[b][a] = base * factor
+        return matrix
+
+    @property
+    def matrix(self) -> List[List[float]]:
+        """The PoP-to-PoP one-way ms matrix (symmetric; do not mutate)."""
+        return self._matrix
+
+    # -- placement ------------------------------------------------------
+
+    def placement(self, endpoint: int) -> Tuple[int, float]:
+        """``(pop, last_mile_ms)`` for an endpoint id (cached)."""
+        cached = self._placements.get(endpoint)
+        if cached is not None:
+            return cached
+        if endpoint in (SOURCE_ENDPOINT, ORACLE_ENDPOINT):
+            placed = (self._infra_pop, 0.0)
+        else:
+            rng = random.Random(
+                derive_seed(self.seed, f"geo-place/{endpoint}")
+            )
+            roll = rng.random()
+            region = 0
+            for index, cum in enumerate(self._cum_weights):
+                if roll <= cum:
+                    region = index
+                    break
+            pop = region * self.profile.pops_per_region + rng.randrange(
+                self.profile.pops_per_region
+            )
+            last_mile = rng.uniform(*self.profile.last_mile_ms)
+            placed = (pop, last_mile)
+        self._placements[endpoint] = placed
+        return placed
+
+    def region_of(self, endpoint: int) -> str:
+        pop, _ = self.placement(endpoint)
+        return self.profile.regions[self.profile.pop_region(pop)]
+
+    # -- latencies ------------------------------------------------------
+
+    def one_way_ms(self, a: int, b: int) -> float:
+        """One-way latency between two endpoints, in milliseconds.
+
+        *Bit*-symmetric: the PoP matrix is symmetric and the last-mile
+        terms are summed before the matrix term is added (float addition
+        commutes but does not associate, so the naive
+        ``mile_a + matrix + mile_b`` differs in the last ulp depending
+        on argument order — pinned by the hypothesis symmetry property
+        in ``tests/test_continuous_time.py``).
+        """
+        pop_a, mile_a = self.placement(a)
+        pop_b, mile_b = self.placement(b)
+        return self._matrix[pop_a][pop_b] + (mile_a + mile_b)
+
+    def rtt_ms(self, a: int, b: int) -> float:
+        """Round-trip latency (one request/response exchange)."""
+        return 2.0 * self.one_way_ms(a, b)
+
+    def oracle_rtt_ms(self, endpoint: int) -> float:
+        """RTT of one oracle contact from ``endpoint``."""
+        return self.rtt_ms(endpoint, ORACLE_ENDPOINT)
+
+    # -- inspection -----------------------------------------------------
+
+    def sample_one_way_ms(
+        self, samples: int = 500, sample_seed: int = 0
+    ) -> List[float]:
+        """One-way ms over ``samples`` distinct synthetic node pairs.
+
+        Sampling uses its own throwaway RNG, so inspection never
+        perturbs the model (placements it materializes are the same
+        values any later lookup would compute).
+        """
+        rng = random.Random(derive_seed(self.seed, f"geo-sample/{sample_seed}"))
+        out = []
+        for _ in range(samples):
+            a = rng.randrange(1, 1 << 30)
+            b = rng.randrange(1, 1 << 30)
+            if a == b:
+                continue
+            out.append(self.one_way_ms(a, b))
+        return out
+
+    def triangle_violations(
+        self,
+        tolerance: float = 0.0,
+        samples: int = 300,
+        sample_seed: int = 0,
+    ) -> float:
+        """Fraction of sampled PoP triples violating the triangle
+        inequality beyond ``tolerance``.
+
+        A triple ``(a, b, c)`` violates when the direct leg is more than
+        ``(1 + tolerance)`` times the relayed path:
+        ``ms(a, c) > (1 + tolerance) * (ms(a, b) + ms(b, c))``.  Real
+        latency databases do contain such violations (detours beat the
+        default route); synthetic ring profiles should flag ~none except
+        what jitter introduces — this is the flagging tool the profile
+        tests and ``repro latency --triangle-tolerance`` use.
+        """
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be >= 0")
+        n = self.profile.pop_count
+        if n < 3:
+            return 0.0
+        rng = random.Random(
+            derive_seed(self.seed, f"geo-triangle/{sample_seed}")
+        )
+        violations = 0
+        checked = 0
+        for _ in range(samples):
+            a, b, c = rng.sample(range(n), 3)
+            checked += 1
+            direct = self._matrix[a][c]
+            relayed = self._matrix[a][b] + self._matrix[b][c]
+            if direct > (1.0 + tolerance) * relayed:
+                violations += 1
+        return violations / checked if checked else 0.0
+
+
+def path_ms(
+    model: GeoLatencyModel, edge_ids: Sequence[Tuple[int, int]]
+) -> float:
+    """Summed one-way ms over a list of ``(parent, child)`` edges."""
+    return sum(model.one_way_ms(a, b) for a, b in edge_ids)

@@ -57,9 +57,12 @@ from repro.faults.state import FaultState
 from repro.feeds.dissemination import LagOverDissemination
 from repro.feeds.source import FeedSource, bursty
 from repro.feeds.staleness import staleness_percentiles
+from repro.locality.geo import GeoLatencyModel, get_profile
 from repro.multifeed.reuse import reuse_oracle_factory
 from repro.multifeed.system import MultiFeedSystem, ReuseMetrics
 from repro.obs.probe import NULL_PROBE, Probe
+from repro.sim.rng import derive_seed
+from repro.sim.timemodel import parse_time_model
 
 # ----------------------------------------------------------------------
 # the scripted timeline
@@ -197,8 +200,16 @@ class SoakConfig:
     recover_threshold: float = 0.9
     health_every: int = 5
     backend: Optional[str] = None
+    #: ``"rounds"`` (default) or ``"continuous:<profile>"``.  Continuous
+    #: soaks route every feed's per-hop forwarding delay through the
+    #: profile's geo latency model (keyed by consumer *name*, so one
+    #: user has one location across all feeds) and restate staleness
+    #: SLOs and time-to-recover in wall-clock milliseconds alongside the
+    #: pull-period figures (``docs/TIMING.md``, ``docs/SCENARIOS.md``).
+    time_model: str = "rounds"
 
     def __post_init__(self) -> None:
+        parse_time_model(self.time_model)  # validates mode and profile
         if self.rounds <= self.warmup_rounds:
             raise ConfigurationError(
                 "rounds must exceed warmup_rounds (no service phase)"
@@ -245,6 +256,12 @@ class FeedSoakStats:
     rooted: int
     satisfied: int
     converged: bool
+    #: Wall-clock staleness percentiles (the same distribution, in
+    #: milliseconds via the profile's pull-period tick); only populated
+    #: under a continuous time model, ``None`` on the rounds clock.
+    p50_ms: Optional[float] = None
+    p99_ms: Optional[float] = None
+    p999_ms: Optional[float] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -265,6 +282,11 @@ class SoakSummary:
     exodus_departures: int
     faults_injected: int
     reuse: ReuseMetrics
+    #: Which clock the soak ran on (``"rounds"`` or
+    #: ``"continuous:<profile>"``); ms fields below are only populated
+    #: for continuous soaks.
+    time_model: str = "rounds"
+    time_to_recover_ms: Optional[float] = None
 
     def feed_stats(self, feed: str) -> FeedSoakStats:
         for stats in self.feeds:
@@ -486,6 +508,27 @@ class ServiceSoak:
                 self.system.algorithms[feed].oracle = gated
                 self.system.algorithms[feed].faults = state
 
+        # Continuous time model: one geo latency model for the whole
+        # soak, keyed by consumer *name* (stable across feeds — one user
+        # sits in one place no matter how many feeds they subscribe to).
+        # Per-hop forwarding delays then follow real network distance
+        # instead of the uniform draw, and the summary restates the
+        # staleness percentiles in wall-clock milliseconds.
+        time_model = parse_time_model(config.time_model)
+        self.geo: Optional[GeoLatencyModel] = None
+        self.geo_profile = None
+        hop_delay_model = None
+        if time_model.continuous:
+            self.geo_profile = get_profile(time_model.profile)
+            self.geo = GeoLatencyModel(
+                self.geo_profile, derive_seed(config.seed, "soak-geo")
+            )
+            period_ms = self.geo_profile.pull_period_ms
+            geo = self.geo
+
+            def hop_delay_model(parent, child, _geo=geo, _ms=period_ms):
+                return _geo.one_way_ms(parent.name, child.name) / _ms
+
         # Live dissemination: one bursty source + engine per feed.
         self.sources: Dict[str, FeedSource] = {}
         self.engines: Dict[str, LagOverDissemination] = {}
@@ -504,6 +547,7 @@ class ServiceSoak:
                 source,
                 streams.get(f"soak/net/{feed}"),
                 pull_period=config.pull_period,
+                hop_delay_model=hop_delay_model,
             )
 
         self._flash_rng = streams.get("soak/flash")
@@ -747,6 +791,15 @@ class ServiceSoak:
             availability = sum(series) / len(series) if series else 1.0
             availabilities.append(availability)
             online = overlay.online_consumers
+            # Continuous clock: one pull period is pull_period_ms of
+            # wall time, so the pull-period percentiles convert to ms
+            # by a straight scale (the hop delays themselves already
+            # followed the geo model during the run).
+            ms_scale = (
+                self.geo_profile.pull_period_ms
+                if self.geo_profile is not None
+                else None
+            )
             feeds.append(
                 FeedSoakStats(
                     feed=feed,
@@ -764,6 +817,15 @@ class ServiceSoak:
                         1 for node in online if overlay.meets_latency(node)
                     ),
                     converged=overlay.is_converged(),
+                    p50_ms=(
+                        percentiles["p50"] * ms_scale if ms_scale else None
+                    ),
+                    p99_ms=(
+                        percentiles["p99"] * ms_scale if ms_scale else None
+                    ),
+                    p999_ms=(
+                        percentiles["p999"] * ms_scale if ms_scale else None
+                    ),
                 )
             )
         last_disruption = self._last_disruption()
@@ -799,6 +861,13 @@ class ServiceSoak:
                 self.injector.injected if self.injector is not None else 0
             ),
             reuse=self.system.reuse_metrics(),
+            time_model=config.time_model,
+            time_to_recover_ms=(
+                time_to_recover * self.geo_profile.pull_period_ms
+                if time_to_recover is not None
+                and self.geo_profile is not None
+                else None
+            ),
         )
 
 

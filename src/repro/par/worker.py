@@ -84,7 +84,7 @@ def execute_item(
     from repro.obs.export import write_trace
     from repro.obs.health import HealthConfig
     from repro.obs.probe import RecordingProbe
-    from repro.sim.runner import Simulation
+    from repro.sim.runner import make_simulation
 
     if memo is None:
         memo = _PROCESS_MEMO
@@ -114,7 +114,11 @@ def execute_item(
             phase_timings: Dict[str, Dict[str, float]] = {}
             health = None
         else:
-            simulation = Simulation(workload, config, probe=probe)
+            # Dispatches on config.time_model: the rounds engine or the
+            # continuous one — either way the run is bit-identical
+            # between serial and pooled execution (pinned by
+            # tests/test_continuous_time.py for the continuous clock).
+            simulation = make_simulation(workload, config, probe=probe)
             result = simulation.run()
             phase_timings = simulation.timings.summary()
             health = (

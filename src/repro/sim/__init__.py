@@ -7,12 +7,14 @@ from repro.sim.metrics import MetricsCollector, RoundRecord
 from repro.sim.rng import StreamFactory, derive_seed, make_stream
 from repro.sim.runner import (
     ALGORITHMS,
+    make_simulation,
     register_algorithm,
     Simulation,
     SimulationConfig,
     SimulationResult,
     run_simulation,
 )
+from repro.sim.timemodel import TimeModel, parse_time_model
 from repro.sim.trace import OverlayTrace, TraceFrame
 
 __all__ = [
@@ -30,9 +32,12 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "StreamFactory",
+    "TimeModel",
     "TraceFrame",
     "derive_seed",
+    "make_simulation",
     "make_stream",
+    "parse_time_model",
     "register_algorithm",
     "run_simulation",
 ]

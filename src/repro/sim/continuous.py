@@ -1,0 +1,288 @@
+"""The continuous-time construction engine.
+
+The paper's asynchrony extension (§5.3) models heterogeneous interaction
+durations as "busy for k rounds" — a bolt-on over the synchronous round
+clock, which can only ever report staleness in hops.  This module
+promotes the :class:`~repro.sim.engine.EventScheduler` to the *primary*
+clock: every consumer acts on its own timeline, and how long each action
+takes is no longer a uniform draw but the sum of the real network legs
+it exercised —
+
+* a **construction step** by a parentless node costs one oracle-contact
+  round trip (node ↔ the directory's PoP) plus, when the step ended in
+  an attach, the attach-handshake round trip to the chosen parent;
+* a **maintenance check** is local and free (observing one's own delay
+  needs no network), so parented nodes self-check once per round tick;
+  a check that ends in a detach (or a move) pays the handshake round
+  trip to the forsaken parent before the node can act again.
+
+Per-edge latencies come from a seeded :class:`~repro.locality.geo.\
+GeoLatencyModel` — region/PoP matrix, last-mile terms, all in wall-clock
+milliseconds — so a consumer behind a trans-continental path genuinely
+interacts less often than a same-metro one, which is exactly the
+asynchrony observation the paper reports, now with geographic teeth.
+
+**Round-domain bookkeeping is unchanged.**  Churn, the oracle's
+per-round refresh, fault injection and measurement all fire on a
+periodic *boundary tick* every ``profile.round_ms`` milliseconds, and
+each tick increments the same round counter the synchronous runner
+uses.  Everything round-keyed (fault plans, recovery metrics, health
+timeseries, staleness attribution) therefore works verbatim, and the
+engine adds the wall-clock view on top: ``sim_time_ms``, event counts,
+millisecond staleness percentiles and ``time_to_recover_ms`` on the
+:class:`~repro.sim.runner.SimulationResult`.
+
+**Determinism.**  The engine introduces no new RNG draws at all: action
+durations are pure functions of the seeded latency model, the event
+queue breaks ties FIFO, and initial/rejoin scheduling walks the roster
+in id order — so a continuous run is bit-identical across repeats and
+across :mod:`repro.par` pooled workers, and rounds mode (which never
+constructs this class) is bit-identical to pre-continuous behavior.
+Both pins live in ``tests/test_continuous_time.py``; the model and a
+worked hop-to-ms example are documented in ``docs/TIMING.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.node import Node
+from repro.feeds.staleness import staleness_percentiles
+from repro.locality.geo import GeoLatencyModel, get_profile
+from repro.obs.probe import Probe
+from repro.sim.engine import EventScheduler
+from repro.sim.runner import Simulation, SimulationConfig, SimulationResult
+from repro.sim.rng import derive_seed
+from repro.sim.timemodel import parse_time_model
+from repro.workloads.base import Workload
+
+#: Floor on any action duration, so a zero-latency profile can never
+#: produce a same-timestamp self-rescheduling loop.
+MIN_ACTION_MS = 0.05
+
+
+class ContinuousSimulation:
+    """One construction run on the continuous clock.
+
+    Wraps an ordinary :class:`~repro.sim.runner.Simulation` (same
+    streams, same oracle wiring, same fault plan, same observability
+    taps) and replaces its round loop with event-driven per-node
+    actions.  Attribute access falls through to the wrapped simulation,
+    so callers that inspect ``.overlay`` / ``.metrics`` / ``.timings`` /
+    ``.health`` work on either engine.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: SimulationConfig,
+        oracle_factory=None,
+        probe: Optional[Probe] = None,
+    ) -> None:
+        model = parse_time_model(config.time_model)
+        if not model.continuous:
+            raise ConfigurationError(
+                "ContinuousSimulation needs a continuous time model; "
+                f"got {config.time_model!r}"
+            )
+        self.sim = Simulation(
+            workload, config, oracle_factory=oracle_factory, probe=probe
+        )
+        self.profile = get_profile(model.profile)
+        # The latency substrate hangs off its own derived seed, so geo
+        # placement can never perturb (or be perturbed by) the protocol
+        # streams — the same dedicated-stream rule repro.faults follows.
+        self.geo = GeoLatencyModel(
+            self.profile, derive_seed(config.seed, "geo")
+        )
+        self.scheduler = EventScheduler()
+        self.round_ms = self.profile.round_ms
+        #: Node ids with a queued (not yet fired) action event.
+        self._queued: set = set()
+
+    def __getattr__(self, name: str):
+        # Fallback for everything Simulation owns (overlay, metrics,
+        # timings, health, attributor, oracle, algorithm, config, ...).
+        return getattr(self.sim, name)
+
+    # -- scheduling -----------------------------------------------------
+
+    def _schedule_action(self, node: Node, delay_ms: float) -> None:
+        self._queued.add(node.node_id)
+        self.scheduler.schedule(max(MIN_ACTION_MS, delay_ms), self._act, node)
+
+    def _schedule_idle_actors(self) -> None:
+        """Queue a first action for every online consumer without one.
+
+        Covers the initial population, churn rejoins and late joiners
+        alike.  Walks the roster in id order and staggers each node's
+        first action by its (deterministic) one-way latency to the
+        directory, folded into one round tick — so a fresh cohort does
+        not act in one synchronized stampede, and nearby nodes get
+        going sooner than far ones.
+        """
+        for node in self.sim.overlay.online_consumers:
+            if node.node_id in self._queued:
+                continue
+            offset = self.geo.one_way_ms(node.node_id, -1) % self.round_ms
+            self._schedule_action(node, offset)
+
+    # -- the per-node action event --------------------------------------
+
+    def _act(self, node: Node) -> None:
+        """One node acts at the current scheduler time."""
+        self._queued.discard(node.node_id)
+        overlay = self.sim.overlay
+        if node not in overlay or not node.online:
+            # Departed (churn/crash) mid-flight: the action dissolves.
+            # A rejoin is re-queued by the next boundary's roster scan.
+            return
+        algorithm = self.sim.algorithm
+        timings_add = self.sim.timings.add
+        geo = self.geo
+        started = time.perf_counter()
+        old_parent = node.parent
+        if old_parent is not None:
+            algorithm.maintain(node)
+            timings_add("maintain", time.perf_counter() - started)
+            if node.parent is old_parent:
+                # Still happy: the self-check is local; next one in a
+                # round tick.
+                delay = self.round_ms
+            else:
+                # Detached or moved: pay the handshake to the forsaken
+                # parent (plus the new one's, if the move re-attached).
+                delay = geo.rtt_ms(node.node_id, old_parent.node_id)
+                if node.parent is not None:
+                    delay += geo.rtt_ms(node.node_id, node.parent.node_id)
+        else:
+            algorithm.step(node)
+            timings_add("step", time.perf_counter() - started)
+            # Every construction step starts with an oracle contact
+            # (timeout bookkeeping included); an attach adds the
+            # handshake round trip to the accepting parent.
+            delay = geo.oracle_rtt_ms(node.node_id)
+            if node.parent is not None:
+                delay += geo.rtt_ms(node.node_id, node.parent.node_id)
+        self._schedule_action(node, delay)
+
+    # -- the boundary tick ----------------------------------------------
+
+    def _run_boundary(self) -> None:
+        """Fire all actions up to the next round boundary, then run the
+        round-domain phases (churn / oracle / faults / measure) exactly
+        as :meth:`~repro.sim.runner.Simulation.run_round` orders them."""
+        sim = self.sim
+        boundary = (sim.now + 1) * self.round_ms
+        self.scheduler.run_until(boundary)
+        sim.now += 1
+        round_start = time.perf_counter()
+        sim.probe.begin_round(sim.now)
+        departures = rejoins = 0
+        if sim.churn is not None:
+            with sim.timings.measure("churn"):
+                events = sim.churn.step(sim.now)
+                departures, rejoins = len(events.left), len(events.rejoined)
+        with sim.timings.measure("oracle"):
+            sim.oracle.on_round(sim.now)
+        if sim.injector is not None:
+            with sim.timings.measure("faults"):
+                sim.injector.inject(sim.now)
+        with sim.timings.measure("measure"):
+            sim.metrics.record(sim.now, departures=departures, rejoins=rejoins)
+            if sim.trace is not None:
+                sim.trace.capture(sim.now)
+            if sim.health is not None:
+                sim.health.capture(
+                    sim.now, departures=departures, rejoins=rejoins
+                )
+            if sim.attributor is not None:
+                sim.attributor.observe_round(sim.now)
+        # Rejoined / newly admitted consumers enter the event loop here.
+        self._schedule_idle_actors()
+        sim.probe.end_round(sim.now, time.perf_counter() - round_start)
+
+    # -- driving --------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Run to convergence or the round budget; return the result."""
+        sim = self.sim
+        self._schedule_idle_actors()
+        while sim.now < sim.config.max_rounds:
+            self._run_boundary()
+            if (
+                sim.config.stop_at_convergence
+                and sim.metrics.records[-1].quality.converged
+            ):
+                break
+        return self.result()
+
+    # -- wall-clock staleness -------------------------------------------
+
+    def staleness_ms_series(self) -> List[float]:
+        """Worst-case wall-clock staleness per rooted online consumer.
+
+        The continuous analogue of the paper's ``DelayAt * T`` bound: a
+        full pull-period wait at the source's direct child, plus the
+        summed one-way transit legs down the consumer's overlay path.
+        Deterministic given the overlay and the seeded latency model.
+        """
+        overlay = self.sim.overlay
+        out: List[float] = []
+        for node in overlay.online_consumers:
+            if not overlay.is_rooted(node):
+                continue
+            ms = self.profile.pull_period_ms
+            cursor = node
+            while cursor.parent is not None:
+                ms += self.geo.one_way_ms(
+                    cursor.parent.node_id, cursor.node_id
+                )
+                cursor = cursor.parent
+            out.append(ms)
+        return out
+
+    def result(self) -> SimulationResult:
+        """The round-domain result, extended with the wall-clock view."""
+        base = self.sim.result()
+        series = self.staleness_ms_series()
+        percentiles = (
+            staleness_percentiles(series, qs=(50.0, 99.0))
+            if series
+            else {"p50": None, "p99": None}
+        )
+        return dataclasses.replace(
+            base,
+            time_model=self.sim.config.time_model,
+            sim_time_ms=self.scheduler.now,
+            events_fired=self.scheduler.fired,
+            staleness_ms_p50=percentiles["p50"],
+            staleness_ms_p99=percentiles["p99"],
+            time_to_recover_ms=(
+                base.time_to_recover * self.round_ms
+                if base.time_to_recover is not None
+                else None
+            ),
+        )
+
+
+def hop_delay_from_geo(
+    geo: GeoLatencyModel, pull_period_ms: float
+):
+    """A dissemination ``hop_delay_model`` serving real geo latencies.
+
+    Returns a callable ``(parent, child) -> delay in units of T`` for
+    :class:`~repro.feeds.dissemination.LagOverDissemination`, so feed
+    transit legs — and therefore the :mod:`repro.obs` delivery spans —
+    carry the substrate's per-edge milliseconds instead of uniform
+    draws.  The engine clamps the value into ``(0, 1]`` per its +1-hop
+    accounting contract.
+    """
+
+    def model(parent: Node, child: Node) -> float:
+        return geo.one_way_ms(parent.node_id, child.node_id) / pull_period_ms
+
+    return model

@@ -132,6 +132,16 @@ class SimulationConfig:
         upstream disjointness at attach time.  The sweep worker reports
         a multipath run through
         :meth:`~repro.multipath.delivery.MultipathSystem.summary_result`.
+    time_model:
+        ``"rounds"`` (default, the paper's synchronous clock —
+        bit-identical to pre-continuous behavior) or
+        ``"continuous:<profile>"``, which routes
+        :func:`make_simulation` / :func:`run_simulation` through the
+        event-driven :class:`~repro.sim.continuous.ContinuousSimulation`
+        with per-edge latencies from the named
+        :mod:`repro.locality.geo` profile (see ``docs/TIMING.md``).
+        Kept as a plain string so configs stay frozen, hashable, and
+        picklable across :mod:`repro.par` pools.
     """
 
     algorithm: str = "greedy"
@@ -149,6 +159,7 @@ class SimulationConfig:
     health: Optional[HealthConfig] = None
     attribution: bool = False
     paths: int = 1
+    time_model: str = "rounds"
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -181,6 +192,20 @@ class SimulationConfig:
             )
         if self.paths < 1:
             raise ConfigurationError("paths must be >= 1")
+        from repro.sim.timemodel import parse_time_model
+
+        if parse_time_model(self.time_model).continuous:
+            if self.asynchrony is not None:
+                raise ConfigurationError(
+                    "asynchrony is a rounds-mode model; the continuous "
+                    "engine derives real interaction durations from the "
+                    "latency substrate instead"
+                )
+            if self.paths > 1:
+                raise ConfigurationError(
+                    "the continuous time model is single-overlay; "
+                    "--paths > 1 runs on the rounds clock"
+                )
 
     def with_(self, **changes) -> "SimulationConfig":
         """A copy with the given fields replaced (sweep convenience)."""
@@ -232,6 +257,23 @@ class SimulationResult:
     recovery_series: List[Optional[int]] = dataclasses.field(
         default_factory=list
     )
+    #: Which clock produced this result (``"rounds"`` or
+    #: ``"continuous:<profile>"``).  The wall-clock fields below are
+    #: only populated by the continuous engine; in rounds mode they
+    #: keep their defaults, so pre-continuous results are bit-identical.
+    time_model: str = "rounds"
+    #: Simulated wall-clock milliseconds elapsed at the end of the run.
+    sim_time_ms: Optional[float] = None
+    #: Timestamped events the continuous engine fired.
+    events_fired: int = 0
+    #: Wall-clock staleness percentiles over rooted online consumers
+    #: (pull wait + summed transit legs, in milliseconds; see
+    #: ``docs/TIMING.md``).
+    staleness_ms_p50: Optional[float] = None
+    staleness_ms_p99: Optional[float] = None
+    #: ``time_to_recover`` restated in milliseconds (worst recovery,
+    #: rounds times the profile's round tick).
+    time_to_recover_ms: Optional[float] = None
 
 
 class Simulation:
@@ -437,6 +479,29 @@ class Simulation:
         )
 
 
+def make_simulation(
+    workload: Workload,
+    config: SimulationConfig,
+    probe: Optional[Probe] = None,
+):
+    """The engine for a config: rounds-mode :class:`Simulation` or the
+    event-driven :class:`~repro.sim.continuous.ContinuousSimulation`.
+
+    Every entry point that honors ``config.time_model`` (the CLI, the
+    sweep worker, benchmarks) routes through here, so the two engines
+    can never be selected inconsistently.  The returned object exposes
+    the same driving surface either way (``run()``, ``overlay``,
+    ``metrics``, ``timings``, ``health``, ``attributor``).
+    """
+    from repro.sim.timemodel import parse_time_model
+
+    if parse_time_model(config.time_model).continuous:
+        from repro.sim.continuous import ContinuousSimulation
+
+        return ContinuousSimulation(workload, config, probe=probe)
+    return Simulation(workload, config, probe=probe)
+
+
 def run_simulation(workload: Workload, config: SimulationConfig) -> SimulationResult:
     """Convenience one-shot: build, run, return the result."""
-    return Simulation(workload, config).run()
+    return make_simulation(workload, config).run()

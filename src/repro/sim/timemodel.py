@@ -1,0 +1,68 @@
+"""The ``--time-model`` vocabulary: rounds vs. continuous time.
+
+A simulation runs in one of two clocks:
+
+* ``"rounds"`` — the paper's synchronous construction clock (§4): every
+  free consumer acts once per round, staleness is measured in hops and
+  pull periods.  The default, bit-identical to all pre-continuous
+  behavior (golden-seed guarded).
+* ``"continuous:<profile>"`` — the continuous-time engine
+  (:mod:`repro.sim.continuous`): oracle contacts, attach/detach
+  handshakes and feed pulls become timestamped events on the
+  :class:`~repro.sim.engine.EventScheduler`, with per-edge latencies
+  drawn from the named :mod:`repro.locality.geo` profile, and staleness
+  gains wall-clock-milliseconds variants.
+
+The textual form lives in :class:`~repro.sim.runner.SimulationConfig`
+(a plain string, so configs stay frozen, hashable and picklable across
+:mod:`repro.par` process pools); this module is the one parser both the
+config validation and the CLI use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.errors import ConfigurationError
+
+#: The default, pre-continuous behavior.
+ROUNDS = "rounds"
+
+
+@dataclasses.dataclass(frozen=True)
+class TimeModel:
+    """Parsed form of a ``--time-model`` value."""
+
+    mode: str = ROUNDS
+    profile: str = ""
+
+    @property
+    def continuous(self) -> bool:
+        return self.mode == "continuous"
+
+
+def parse_time_model(text: str) -> TimeModel:
+    """Parse ``"rounds"`` or ``"continuous:<profile>"``.
+
+    The profile name is validated against the built-in
+    :data:`repro.locality.geo.PROFILES` registry, so a typo fails at
+    config construction, not mid-run.
+
+    >>> parse_time_model("rounds").continuous
+    False
+    >>> parse_time_model("continuous:geo-3region").profile
+    'geo-3region'
+    """
+    text = (text or ROUNDS).strip()
+    if text == ROUNDS:
+        return TimeModel()
+    mode, sep, profile = text.partition(":")
+    if mode != "continuous" or not sep or not profile:
+        raise ConfigurationError(
+            f"bad time model {text!r}: expected 'rounds' or "
+            "'continuous:<profile>' (e.g. 'continuous:geo-3region')"
+        )
+    from repro.locality.geo import get_profile
+
+    get_profile(profile)  # raises ConfigurationError on unknown names
+    return TimeModel(mode="continuous", profile=profile)
